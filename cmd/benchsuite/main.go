@@ -1,0 +1,35 @@
+// Command benchsuite regenerates every figure of the paper's evaluation
+// (§8, Figs. 6-18) at laptop scale and prints the series as CSV-like
+// tables; see internal/experiments for the sweep definitions and
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchsuite [-exp all|fig06|fig07|...|fig18] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "smaller sizes, fewer points per series")
+		seed  = flag.Uint64("seed", 42, "instance seed")
+		exp   = flag.String("exp", "all", "experiment to run (all, fig06..fig18)")
+	)
+	flag.Parse()
+	err := experiments.Run(*exp, experiments.Config{
+		Quick: *quick,
+		Seed:  *seed,
+		Out:   os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,102 @@
+// Command kagen generates graphs from the supported network models and
+// writes them as edge lists (text or binary) or METIS adjacency files.
+//
+// Examples:
+//
+//	kagen -model gnm_undirected -n 65536 -m 1048576 -o graph.txt
+//	kagen -model rhg -n 1048576 -deg 16 -gamma 2.8 -pes 8 -format metis -o graph.metis
+//	kagen -model rgg2d -n 100000 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	kagen "repro"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "gnm_undirected", "model: "+modelList())
+		n       = flag.Uint64("n", 1<<16, "number of vertices")
+		m       = flag.Uint64("m", 1<<20, "number of edges (gnm, rmat)")
+		p       = flag.Float64("p", 0.001, "edge probability (gnp)")
+		r       = flag.Float64("r", 0, "radius (rgg; 0 = connectivity radius)")
+		deg     = flag.Float64("deg", 16, "average degree (rhg, srhg)")
+		gamma   = flag.Float64("gamma", 2.8, "power-law exponent (rhg, srhg)")
+		d       = flag.Uint64("d", 4, "edges per vertex (ba)")
+		scale   = flag.Uint("scale", 16, "log2 of vertex count (rmat)")
+		blocks  = flag.Int("blocks", 2, "number of communities (sbm)")
+		pin     = flag.Float64("pin", 0, "intra-community probability (sbm; 0 = 8*p)")
+		pout    = flag.Float64("pout", 0, "inter-community probability (sbm; 0 = p)")
+		pes     = flag.Uint64("pes", 1, "number of logical PEs (chunks)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default: stdout)")
+		format  = flag.String("format", "text", "output format: text, binary, metis, none")
+		stats   = flag.Bool("stats", false, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	gen, err := kagen.New(kagen.Model(*model), kagen.ModelParams{
+		N: *n, M: *m, P: *p, R: *r, AvgDeg: *deg, Gamma: *gamma, D: *d,
+		Scale: *scale, Blocks: *blocks, PIn: *pin, POut: *pout,
+	}, kagen.Options{Seed: *seed, PEs: *pes, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	el, err := gen.Generate()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *stats {
+		s := kagen.ComputeStats(el)
+		fmt.Fprintf(os.Stderr,
+			"model=%s n=%d edges=%d avg_degree=%.2f max_degree=%d components=%d self_loops=%d time=%s\n",
+			*model, s.N, s.M, s.AvgDegree, s.MaxDegree, s.Components, s.SelfLoops, elapsed)
+	}
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		err = kagen.WriteEdgeListText(w, el)
+	case "binary":
+		err = kagen.WriteEdgeListBinary(w, el)
+	case "metis":
+		err = kagen.WriteMetis(w, el)
+	case "none":
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func modelList() string {
+	names := make([]string, 0, len(kagen.Models()))
+	for _, m := range kagen.Models() {
+		names = append(names, string(m))
+	}
+	return strings.Join(names, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command validate checks a generated edge-list file against the defining
+// and distributional properties of its network model, printing one line
+// per check. Exit status 1 if any check fails.
+//
+// Usage:
+//
+//	validate -model gnm_undirected -n 65536 -m 1048576 graph.txt
+//	validate -model rhg -n 1048576 -deg 16 -gamma 2.8 -binary graph.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	kagen "repro"
+	"repro/internal/core"
+	"repro/internal/validate"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "", "model the file claims to be")
+		n      = flag.Uint64("n", 0, "number of vertices")
+		m      = flag.Uint64("m", 0, "number of edges (gnm, rmat)")
+		p      = flag.Float64("p", 0, "edge probability (gnp)")
+		r      = flag.Float64("r", 0, "radius (rgg)")
+		deg    = flag.Float64("deg", 0, "average degree (rhg)")
+		gamma  = flag.Float64("gamma", 0, "power-law exponent (rhg)")
+		d      = flag.Uint64("d", 0, "edges per vertex (ba)")
+		scale  = flag.Uint("scale", 0, "log2 vertices (rmat)")
+		blocks = flag.Int("blocks", 2, "communities (sbm)")
+		pin    = flag.Float64("pin", 0, "intra-community probability (sbm)")
+		pout   = flag.Float64("pout", 0, "inter-community probability (sbm)")
+		binary = flag.Bool("binary", false, "input is the binary format")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *model == "" {
+		fmt.Fprintln(os.Stderr, "usage: validate -model <name> [params] file")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var el *kagen.EdgeList
+	if *binary {
+		el, err = kagen.ReadEdgeListBinary(f)
+	} else {
+		el, err = kagen.ReadEdgeListText(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var checks []validate.Check
+	switch kagen.Model(*model) {
+	case kagen.ModelGNMDirected:
+		checks = validate.GNM(el, *n, *m, true)
+	case kagen.ModelGNMUndirected:
+		checks = validate.GNM(el, *n, *m, false)
+	case kagen.ModelGNPDirected:
+		checks = validate.GNP(el, *n, *p, true)
+	case kagen.ModelGNPUndirected:
+		checks = validate.GNP(el, *n, *p, false)
+	case kagen.ModelRGG2D:
+		checks = validate.RGG(el, *n, *r, 2)
+	case kagen.ModelRGG3D:
+		checks = validate.RGG(el, *n, *r, 3)
+	case kagen.ModelRDG2D:
+		checks = validate.RDG(el, *n, 2)
+	case kagen.ModelRDG3D:
+		checks = validate.RDG(el, *n, 3)
+	case kagen.ModelRHG, kagen.ModelSRHG:
+		checks = validate.RHG(el, *n, *deg, *gamma)
+	case kagen.ModelBA:
+		checks = validate.BA(el, *n, *d)
+	case kagen.ModelRMAT:
+		checks = validate.RMAT(el, *scale, *m)
+	case kagen.ModelSBM:
+		ch := core.Chunking{N: *n, Chunks: uint64(*blocks)}
+		sizes := make([]uint64, *blocks)
+		for i := range sizes {
+			sizes[i] = ch.Size(uint64(i))
+		}
+		checks = validate.SBM(el, sizes, *pin, *pout)
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	failed := 0
+	for _, c := range checks {
+		status := "ok  "
+		if !c.Passed {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-32s %s\n", status, c.Name, c.Detail)
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d checks failed\n", failed, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d checks passed\n", len(checks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "validate:", err)
+	os.Exit(1)
+}

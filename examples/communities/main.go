@@ -1,0 +1,58 @@
+// Communities: the stochastic block model (the paper's §9 future-work
+// model, implemented here on top of the communication-free G(n,p) chunk
+// machinery) as a benchmark for community detection. The example sweeps
+// the signal strength pIn/pOut of a planted partition, runs label
+// propagation, and measures how well the planted blocks are recovered —
+// the classic detectability experiment.
+package main
+
+import (
+	"fmt"
+
+	kagen "repro"
+)
+
+func main() {
+	const n = 8000
+	const blocks = 4
+	const pOut = 0.001
+	opt := kagen.Options{Seed: 44, PEs: 8}
+
+	fmt.Printf("planted partition: n=%d, %d blocks, pOut=%g\n\n", n, blocks, pOut)
+	fmt.Printf("%10s %10s %12s %12s\n", "pIn/pOut", "edges", "communities", "rand_index")
+
+	truth := make([]uint64, n)
+	per := uint64(n) / blocks
+	for v := uint64(0); v < n; v++ {
+		b := v / per
+		if b >= blocks {
+			b = blocks - 1
+		}
+		truth[v] = b
+	}
+
+	for _, ratio := range []float64{2, 5, 10, 25, 50} {
+		pIn := pOut * ratio
+		el, err := kagen.SBM(n, blocks, pIn, pOut, opt)
+		if err != nil {
+			panic(err)
+		}
+		labels := kagen.LabelPropagation(el, 30)
+		ri := kagen.RandIndexSample(labels, truth, 200000)
+		fmt.Printf("%10.0f %10d %12d %12.3f\n",
+			ratio, el.Len()/2, distinct(labels), ri)
+	}
+
+	fmt.Println("\nreading: near pIn ~ pOut the partition is undetectable (Rand")
+	fmt.Println("index ~ the uninformed baseline); with a strong planted signal")
+	fmt.Println("label propagation recovers the four blocks almost perfectly")
+	fmt.Println("(Rand index -> 1).")
+}
+
+func distinct(labels []uint64) int {
+	set := map[uint64]bool{}
+	for _, l := range labels {
+		set[l] = true
+	}
+	return len(set)
+}

@@ -1,0 +1,76 @@
+// Mesh: random Delaunay graphs as unstructured meshes for scientific
+// computing (paper §2.1.4). The periodic boundary makes a small mesh
+// representative of a large simulated system, exactly like the periodic
+// boxes of molecular-dynamics codes. The example generates a 2-D and a
+// 3-D periodic mesh, verifies the structural invariants a solver relies
+// on (regularity, connectivity), and runs a toy heat-diffusion step to
+// show the mesh in use.
+package main
+
+import (
+	"fmt"
+
+	kagen "repro"
+)
+
+func main() {
+	opt := kagen.Options{Seed: 12, PEs: 4}
+
+	for _, c := range []struct {
+		dim int
+		n   uint64
+	}{{2, 20_000}, {3, 4_000}} {
+		gen, err := kagen.New(kagen.Model(fmt.Sprintf("rdg%dd", c.dim)),
+			kagen.ModelParams{N: c.n}, opt)
+		if err != nil {
+			panic(err)
+		}
+		el, err := gen.Generate()
+		if err != nil {
+			panic(err)
+		}
+		s := kagen.ComputeStats(el)
+		fmt.Printf("%d-D periodic Delaunay mesh: %d cells, %d links, avg degree %.3f, components %d\n",
+			c.dim, s.N, s.M/2, s.AvgDegree, s.Components)
+	}
+
+	// Toy diffusion on the 2-D mesh: one Jacobi sweep per step over the
+	// adjacency; the periodic mesh has no boundary, so mass is conserved.
+	const n = 10_000
+	el, err := kagen.RDG2D(n, opt)
+	if err != nil {
+		panic(err)
+	}
+	neighbors := make([][]uint64, n)
+	for _, e := range el.Edges {
+		neighbors[e.U] = append(neighbors[e.U], e.V)
+	}
+	temp := make([]float64, n)
+	temp[0] = float64(n) // a point heat source
+	next := make([]float64, n)
+	// Conservative explicit scheme: kappa below 1/maxdegree keeps it
+	// stable, and the flux form conserves total mass exactly.
+	const kappa = 1.0 / 32
+	var total float64
+	for step := 0; step < 50; step++ {
+		for v := uint64(0); v < n; v++ {
+			flux := 0.0
+			for _, u := range neighbors[v] {
+				flux += temp[u] - temp[v]
+			}
+			next[v] = temp[v] + kappa*flux
+		}
+		temp, next = next, temp
+	}
+	for _, t := range temp {
+		total += t
+	}
+	var peak float64
+	for _, t := range temp {
+		if t > peak {
+			peak = t
+		}
+	}
+	fmt.Printf("\ndiffusion on the 2-D mesh after 50 steps: mass %.1f (conserved: %v), peak %.4f\n",
+		total, total > float64(n)*0.99 && total < float64(n)*1.01, peak)
+}

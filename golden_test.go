@@ -1,0 +1,67 @@
+package kagen
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+)
+
+// edgeHash returns an order-independent digest of an edge list: FNV-1a
+// over the sorted edges.
+func edgeHash(el *EdgeList) uint64 {
+	el.Sort()
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, e := range el.Edges {
+		binary.LittleEndian.PutUint64(buf[0:], e.U)
+		binary.LittleEndian.PutUint64(buf[8:], e.V)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestGoldenInstances pins the exact instance produced for each model at a
+// fixed (seed, PEs). The instance definition — hash functions, stream
+// derivation, splitting recursion, offset computations — is part of the
+// library contract: a changed hash here means previously generated graphs
+// can no longer be reproduced, which must be a conscious, documented
+// decision.
+//
+// To re-pin after an intentional change: go test -run TestGoldenInstances
+// -update-golden, then copy the printed values.
+var updateGolden = false
+
+func TestGoldenInstances(t *testing.T) {
+	opt := Options{Seed: 12345, PEs: 4, Workers: 2}
+	cases := []struct {
+		name string
+		gen  func() (*EdgeList, error)
+		want uint64
+	}{
+		{"gnm_directed", func() (*EdgeList, error) { return GNM(500, 2000, true, opt) }, 0xcda3f3199957656f},
+		{"gnm_undirected", func() (*EdgeList, error) { return GNM(500, 2000, false, opt) }, 0x20251e4d98c65c09},
+		{"gnp_directed", func() (*EdgeList, error) { return GNP(500, 0.01, true, opt) }, 0xdf438599e9c7b05c},
+		{"rgg2d", func() (*EdgeList, error) { return RGG2D(400, 0.08, opt) }, 0xa8efe5a2333d7b79},
+		{"rgg3d", func() (*EdgeList, error) { return RGG3D(300, 0.2, opt) }, 0x8e51739817f7198d},
+		{"rdg2d", func() (*EdgeList, error) { return RDG2D(300, opt) }, 0x4944a7b066e44ea1},
+		{"rhg", func() (*EdgeList, error) { return RHG(400, 8, 2.8, opt) }, 0xe49e4820becb8eed},
+		{"srhg", func() (*EdgeList, error) { return SRHG(400, 8, 2.8, opt) }, 0x8122a4d747ef66cd},
+		{"ba", func() (*EdgeList, error) { return BA(500, 3, opt) }, 0x713b03e34a83f171},
+		{"rmat", func() (*EdgeList, error) { return RMAT(9, 2000, opt) }, 0xa199dae0d3a46ba8},
+		{"sbm", func() (*EdgeList, error) { return SBM(500, 2, 0.05, 0.005, opt) }, 0x7aac482c42e28ecd},
+	}
+	for _, c := range cases {
+		el, err := c.gen()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := edgeHash(el)
+		if updateGolden {
+			t.Logf("{%q, ..., %#x},", c.name, got)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: instance hash %#x, want %#x — the instance definition changed", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package delaunay
+
+import "fmt"
+
+// superCoord places the three artificial bounding vertices far outside the
+// unit-cube domain (including its periodic copies in [-1, 2]).
+const superCoord = 1e4
+
+// Tri is one triangle: V are point indices (counter-clockwise), N[i] is
+// the index of the neighbour opposite V[i] (-1 at the outer boundary).
+type Tri struct {
+	V [3]int32
+	N [3]int32
+}
+
+// T2 is an incremental 2-D Delaunay triangulation. Point indices 0..2 are
+// the artificial super-triangle vertices.
+type T2 struct {
+	Pts  [][2]float64
+	Tris []Tri
+	dead []bool
+	free []int32
+	last int32 // walk start hint
+
+	// scratch buffers reused across insertions
+	cavity   []int32
+	inCav    map[int32]bool
+	stack    []int32
+	edgeTri  map[int32]int32 // boundary edge start vertex -> new tri
+	edgeTri2 map[int32]int32 // boundary edge end vertex -> new tri
+}
+
+// NewT2 creates a triangulation whose super-triangle encloses the domain
+// [-superCoord/2, superCoord/2]^2.
+func NewT2(hint int) *T2 {
+	t := &T2{
+		Pts:      make([][2]float64, 0, hint+3),
+		inCav:    make(map[int32]bool),
+		edgeTri:  make(map[int32]int32),
+		edgeTri2: make(map[int32]int32),
+	}
+	t.Pts = append(t.Pts,
+		[2]float64{-3 * superCoord, -3 * superCoord},
+		[2]float64{3 * superCoord, -3 * superCoord},
+		[2]float64{0, 3 * superCoord},
+	)
+	t.Tris = append(t.Tris, Tri{V: [3]int32{0, 1, 2}, N: [3]int32{-1, -1, -1}})
+	t.dead = append(t.dead, false)
+	return t
+}
+
+// Insert adds a point and returns its index.
+func (t *T2) Insert(p [2]float64) int32 {
+	idx := int32(len(t.Pts))
+	t.Pts = append(t.Pts, p)
+
+	loc := t.locate(p)
+
+	// Collect the cavity: every triangle whose circumcircle contains p,
+	// grown by BFS from the containing triangle.
+	t.cavity = t.cavity[:0]
+	t.stack = t.stack[:0]
+	for k := range t.inCav {
+		delete(t.inCav, k)
+	}
+	t.stack = append(t.stack, loc)
+	t.inCav[loc] = true
+	for len(t.stack) > 0 {
+		cur := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.cavity = append(t.cavity, cur)
+		for _, nb := range t.Tris[cur].N {
+			if nb < 0 || t.inCav[nb] {
+				continue
+			}
+			tri := &t.Tris[nb]
+			if InCircle(t.Pts[tri.V[0]], t.Pts[tri.V[1]], t.Pts[tri.V[2]], p) > 0 {
+				t.inCav[nb] = true
+				t.stack = append(t.stack, nb)
+			}
+		}
+	}
+
+	// Gather boundary edges (edge (V[i+1], V[i+2]) of a cavity triangle
+	// whose neighbour N[i] is outside), create the fan of new triangles.
+	for k := range t.edgeTri {
+		delete(t.edgeTri, k)
+	}
+	for k := range t.edgeTri2 {
+		delete(t.edgeTri2, k)
+	}
+	type boundary struct {
+		a, b    int32 // edge, oriented CCW seen from inside the cavity
+		outside int32
+	}
+	var edges []boundary
+	for _, cur := range t.cavity {
+		tri := t.Tris[cur]
+		for i := 0; i < 3; i++ {
+			nb := tri.N[i]
+			if nb >= 0 && t.inCav[nb] {
+				continue
+			}
+			edges = append(edges, boundary{
+				a: tri.V[(i+1)%3], b: tri.V[(i+2)%3], outside: nb,
+			})
+		}
+	}
+
+	newTris := make([]int32, 0, len(edges))
+	for _, e := range edges {
+		ti := t.alloc()
+		t.Tris[ti] = Tri{V: [3]int32{e.a, e.b, idx}, N: [3]int32{-1, -1, e.outside}}
+		if e.outside >= 0 {
+			out := &t.Tris[e.outside]
+			for i := 0; i < 3; i++ {
+				if out.V[i] != e.a && out.V[i] != e.b {
+					out.N[i] = ti
+					break
+				}
+			}
+		}
+		t.edgeTri[e.a] = ti  // tri whose boundary edge starts at a
+		t.edgeTri2[e.b] = ti // tri whose boundary edge ends at b
+		newTris = append(newTris, ti)
+	}
+	// Link the fan: tri (a,b,idx) has neighbour opposite a across edge
+	// (b, idx) — the tri starting at b; neighbour opposite b across edge
+	// (idx, a) — the tri ending at a.
+	for _, ti := range newTris {
+		tri := &t.Tris[ti]
+		a, b := tri.V[0], tri.V[1]
+		tri.N[0] = t.edgeTri[b]
+		tri.N[1] = t.edgeTri2[a]
+	}
+	// Retire the cavity.
+	for _, cur := range t.cavity {
+		t.dead[cur] = true
+		t.free = append(t.free, cur)
+	}
+	t.last = newTris[0]
+	return idx
+}
+
+func (t *T2) alloc() int32 {
+	if n := len(t.free); n > 0 {
+		ti := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.dead[ti] = false
+		return ti
+	}
+	t.Tris = append(t.Tris, Tri{})
+	t.dead = append(t.dead, false)
+	return int32(len(t.Tris) - 1)
+}
+
+// locate walks from the hint triangle to the triangle containing p.
+func (t *T2) locate(p [2]float64) int32 {
+	cur := t.last
+	if cur < 0 || int(cur) >= len(t.Tris) || t.dead[cur] {
+		for i := range t.Tris {
+			if !t.dead[i] {
+				cur = int32(i)
+				break
+			}
+		}
+	}
+	for steps := 0; steps < 8*len(t.Tris)+64; steps++ {
+		tri := t.Tris[cur]
+		moved := false
+		for i := 0; i < 3; i++ {
+			a := t.Pts[tri.V[(i+1)%3]]
+			b := t.Pts[tri.V[(i+2)%3]]
+			if Orient2D(a, b, p) < 0 {
+				nb := tri.N[i]
+				if nb < 0 {
+					// Outside the super-triangle: should not happen for
+					// points within the domain.
+					panic(fmt.Sprintf("delaunay: point %v escapes the super-triangle", p))
+				}
+				cur = nb
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return cur
+		}
+	}
+	panic("delaunay: point location did not terminate")
+}
+
+// IsSuper reports whether a point index is a super-triangle vertex.
+func (t *T2) IsSuper(idx int32) bool { return idx < 3 }
+
+// Dead reports whether a triangle slot has been retired by an insertion.
+func (t *T2) Dead(ti int) bool { return t.dead[ti] }
+
+// Edges calls emit once for every undirected edge (a < b) between real
+// (non-super) points.
+func (t *T2) Edges(emit func(a, b int32)) {
+	seen := make(map[[2]int32]bool)
+	for ti := range t.Tris {
+		if t.dead[ti] {
+			continue
+		}
+		tri := t.Tris[ti]
+		for i := 0; i < 3; i++ {
+			a, b := tri.V[i], tri.V[(i+1)%3]
+			if a < 3 || b < 3 {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int32{a, b}
+			if !seen[key] {
+				seen[key] = true
+				emit(a, b)
+			}
+		}
+	}
+}
+
+// Triangles calls emit for every live triangle with only real vertices.
+func (t *T2) Triangles(emit func(v0, v1, v2 int32)) {
+	for ti := range t.Tris {
+		if t.dead[ti] {
+			continue
+		}
+		tri := t.Tris[ti]
+		if tri.V[0] < 3 || tri.V[1] < 3 || tri.V[2] < 3 {
+			continue
+		}
+		emit(tri.V[0], tri.V[1], tri.V[2])
+	}
+}
+
+// Circumcircle returns the circumcenter and squared radius of a triangle
+// given by point indices.
+func (t *T2) Circumcircle(v0, v1, v2 int32) (cx, cy, r2 float64) {
+	a, b, c := t.Pts[v0], t.Pts[v1], t.Pts[v2]
+	return circumcircle(a, b, c)
+}
+
+func circumcircle(a, b, c [2]float64) (cx, cy, r2 float64) {
+	bx := b[0] - a[0]
+	by := b[1] - a[1]
+	cxv := c[0] - a[0]
+	cyv := c[1] - a[1]
+	d := 2 * (bx*cyv - by*cxv)
+	if d == 0 {
+		return a[0], a[1], 0
+	}
+	b2 := bx*bx + by*by
+	c2 := cxv*cxv + cyv*cyv
+	ux := (cyv*b2 - by*c2) / d
+	uy := (bx*c2 - cxv*b2) / d
+	return a[0] + ux, a[1] + uy, ux*ux + uy*uy
+}
+
+// Triangulate2D builds the Delaunay triangulation of a point set.
+func Triangulate2D(pts [][2]float64) *T2 {
+	t := NewT2(len(pts))
+	for _, p := range pts {
+		t.Insert(p)
+	}
+	return t
+}

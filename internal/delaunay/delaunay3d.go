@@ -1,0 +1,295 @@
+package delaunay
+
+import "fmt"
+
+// Tet is one tetrahedron: V are point indices with positive orientation
+// (Orient3D(V0,V1,V2,V3) > 0), N[i] the neighbour opposite V[i].
+type Tet struct {
+	V [4]int32
+	N [4]int32
+}
+
+// faceOrder[i] lists the vertex slots of the face opposite slot i, ordered
+// so that Orient3D(face, V[i]) > 0 for a positively oriented tetrahedron.
+var faceOrder = [4][3]int{{2, 1, 3}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}}
+
+// T3 is an incremental 3-D Delaunay tetrahedralization. Point indices 0..3
+// are the artificial bounding tetrahedron.
+type T3 struct {
+	Pts  [][3]float64
+	Tets []Tet
+	dead []bool
+	free []int32
+	last int32
+
+	cavity []int32
+	inCav  map[int32]bool
+	stack  []int32
+}
+
+// NewT3 creates a tetrahedralization whose super-tetrahedron encloses the
+// domain comfortably.
+func NewT3(hint int) *T3 {
+	t := &T3{
+		Pts:   make([][3]float64, 0, hint+4),
+		inCav: make(map[int32]bool),
+	}
+	const s = superCoord
+	t.Pts = append(t.Pts,
+		[3]float64{-3 * s, -3 * s, -3 * s},
+		[3]float64{9 * s, -3 * s, -3 * s},
+		[3]float64{-3 * s, 9 * s, -3 * s},
+		[3]float64{-3 * s, -3 * s, 9 * s},
+	)
+	// Orient3D of these four is positive (right-handed axes).
+	t.Tets = append(t.Tets, Tet{V: [4]int32{0, 1, 2, 3}, N: [4]int32{-1, -1, -1, -1}})
+	t.dead = append(t.dead, false)
+	return t
+}
+
+// Insert adds a point and returns its index.
+func (t *T3) Insert(p [3]float64) int32 {
+	idx := int32(len(t.Pts))
+	t.Pts = append(t.Pts, p)
+
+	loc := t.locate(p)
+
+	t.cavity = t.cavity[:0]
+	t.stack = t.stack[:0]
+	for k := range t.inCav {
+		delete(t.inCav, k)
+	}
+	t.stack = append(t.stack, loc)
+	t.inCav[loc] = true
+	for len(t.stack) > 0 {
+		cur := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.cavity = append(t.cavity, cur)
+		for _, nb := range t.Tets[cur].N {
+			if nb < 0 || t.inCav[nb] {
+				continue
+			}
+			tt := &t.Tets[nb]
+			if InSphere(t.Pts[tt.V[0]], t.Pts[tt.V[1]], t.Pts[tt.V[2]], t.Pts[tt.V[3]], p) > 0 {
+				t.inCav[nb] = true
+				t.stack = append(t.stack, nb)
+			}
+		}
+	}
+
+	type boundary struct {
+		f       [3]int32
+		outside int32
+	}
+	var faces []boundary
+	for _, cur := range t.cavity {
+		tt := t.Tets[cur]
+		for i := 0; i < 4; i++ {
+			nb := tt.N[i]
+			if nb >= 0 && t.inCav[nb] {
+				continue
+			}
+			fo := faceOrder[i]
+			faces = append(faces, boundary{
+				f:       [3]int32{tt.V[fo[0]], tt.V[fo[1]], tt.V[fo[2]]},
+				outside: nb,
+			})
+		}
+	}
+
+	// Create one new tet per boundary face and link internal faces via the
+	// shared-edge map (each edge of the boundary polyhedron is shared by
+	// exactly two faces).
+	type slotRef struct {
+		tet  int32
+		slot int
+	}
+	edgeMap := make(map[[2]int32]slotRef, len(faces)*3/2)
+	newTets := make([]int32, 0, len(faces))
+	for _, bf := range faces {
+		ti := t.alloc()
+		t.Tets[ti] = Tet{
+			V: [4]int32{bf.f[0], bf.f[1], bf.f[2], idx},
+			N: [4]int32{-1, -1, -1, bf.outside},
+		}
+		if bf.outside >= 0 {
+			out := &t.Tets[bf.outside]
+			for i := 0; i < 4; i++ {
+				v := out.V[i]
+				if v != bf.f[0] && v != bf.f[1] && v != bf.f[2] {
+					out.N[i] = ti
+					break
+				}
+			}
+		}
+		// Internal faces: opposite f[j] is the face (other two, idx) —
+		// keyed by the boundary-face edge not containing f[j].
+		for j := 0; j < 3; j++ {
+			a, b := bf.f[(j+1)%3], bf.f[(j+2)%3]
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int32{a, b}
+			if ref, ok := edgeMap[key]; ok {
+				t.Tets[ti].N[j] = ref.tet
+				t.Tets[ref.tet].N[ref.slot] = ti
+				delete(edgeMap, key)
+			} else {
+				edgeMap[key] = slotRef{tet: ti, slot: j}
+			}
+		}
+		newTets = append(newTets, ti)
+	}
+	if len(edgeMap) != 0 {
+		panic(fmt.Sprintf("delaunay3d: %d unmatched boundary edges", len(edgeMap)))
+	}
+	for _, cur := range t.cavity {
+		t.dead[cur] = true
+		t.free = append(t.free, cur)
+	}
+	t.last = newTets[0]
+	return idx
+}
+
+func (t *T3) alloc() int32 {
+	if n := len(t.free); n > 0 {
+		ti := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.dead[ti] = false
+		return ti
+	}
+	t.Tets = append(t.Tets, Tet{})
+	t.dead = append(t.dead, false)
+	return int32(len(t.Tets) - 1)
+}
+
+func (t *T3) locate(p [3]float64) int32 {
+	cur := t.last
+	if cur < 0 || int(cur) >= len(t.Tets) || t.dead[cur] {
+		for i := range t.Tets {
+			if !t.dead[i] {
+				cur = int32(i)
+				break
+			}
+		}
+	}
+	for steps := 0; steps < 8*len(t.Tets)+64; steps++ {
+		tt := t.Tets[cur]
+		moved := false
+		for i := 0; i < 4; i++ {
+			fo := faceOrder[i]
+			a := t.Pts[tt.V[fo[0]]]
+			b := t.Pts[tt.V[fo[1]]]
+			c := t.Pts[tt.V[fo[2]]]
+			if Orient3D(a, b, c, p) < 0 {
+				nb := tt.N[i]
+				if nb < 0 {
+					panic(fmt.Sprintf("delaunay3d: point %v escapes the super-tetrahedron", p))
+				}
+				cur = nb
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return cur
+		}
+	}
+	panic("delaunay3d: point location did not terminate")
+}
+
+// IsSuper reports whether a point index belongs to the bounding tetrahedron.
+func (t *T3) IsSuper(idx int32) bool { return idx < 4 }
+
+// Dead reports whether a tetrahedron slot has been retired by an insertion.
+func (t *T3) Dead(ti int) bool { return t.dead[ti] }
+
+// Edges calls emit once per undirected edge (a < b) between real points.
+func (t *T3) Edges(emit func(a, b int32)) {
+	seen := make(map[[2]int32]bool)
+	for ti := range t.Tets {
+		if t.dead[ti] {
+			continue
+		}
+		tt := t.Tets[ti]
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				a, b := tt.V[i], tt.V[j]
+				if a < 4 || b < 4 {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int32{a, b}
+				if !seen[key] {
+					seen[key] = true
+					emit(a, b)
+				}
+			}
+		}
+	}
+}
+
+// Tetrahedra calls emit for every live tetrahedron with only real vertices.
+func (t *T3) Tetrahedra(emit func(v [4]int32)) {
+	for ti := range t.Tets {
+		if t.dead[ti] {
+			continue
+		}
+		tt := t.Tets[ti]
+		if tt.V[0] < 4 || tt.V[1] < 4 || tt.V[2] < 4 || tt.V[3] < 4 {
+			continue
+		}
+		emit(tt.V)
+	}
+}
+
+// Circumsphere returns the circumcenter and squared radius of the
+// tetrahedron with the given point indices.
+func (t *T3) Circumsphere(v [4]int32) (c [3]float64, r2 float64) {
+	return circumsphere(t.Pts[v[0]], t.Pts[v[1]], t.Pts[v[2]], t.Pts[v[3]])
+}
+
+func circumsphere(a, b, c, d [3]float64) (center [3]float64, r2 float64) {
+	// Solve the linear system for the center relative to a.
+	var m [3][3]float64
+	var rhs [3]float64
+	for i, p := range [][3]float64{b, c, d} {
+		dx := p[0] - a[0]
+		dy := p[1] - a[1]
+		dz := p[2] - a[2]
+		m[i] = [3]float64{dx, dy, dz}
+		rhs[i] = 0.5 * (dx*dx + dy*dy + dz*dz)
+	}
+	det3 := func(r0, r1, r2 [3]float64) float64 {
+		return r0[0]*(r1[1]*r2[2]-r1[2]*r2[1]) -
+			r0[1]*(r1[0]*r2[2]-r1[2]*r2[0]) +
+			r0[2]*(r1[0]*r2[1]-r1[1]*r2[0])
+	}
+	det := det3(m[0], m[1], m[2])
+	if det == 0 {
+		return a, 0
+	}
+	replace := func(col int) [3][3]float64 {
+		out := m
+		for i := 0; i < 3; i++ {
+			out[i][col] = rhs[i]
+		}
+		return out
+	}
+	mx, my, mz := replace(0), replace(1), replace(2)
+	ux := det3(mx[0], mx[1], mx[2]) / det
+	uy := det3(my[0], my[1], my[2]) / det
+	uz := det3(mz[0], mz[1], mz[2]) / det
+	return [3]float64{a[0] + ux, a[1] + uy, a[2] + uz}, ux*ux + uy*uy + uz*uz
+}
+
+// Triangulate3D builds the Delaunay tetrahedralization of a point set.
+func Triangulate3D(pts [][3]float64) *T3 {
+	t := NewT3(len(pts))
+	for _, p := range pts {
+		t.Insert(p)
+	}
+	return t
+}

@@ -1,0 +1,399 @@
+package delaunay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestOrient2D(t *testing.T) {
+	a, b := [2]float64{0, 0}, [2]float64{1, 0}
+	if Orient2D(a, b, [2]float64{0, 1}) <= 0 {
+		t.Error("CCW triple not positive")
+	}
+	if Orient2D(a, b, [2]float64{0, -1}) >= 0 {
+		t.Error("CW triple not negative")
+	}
+	if Orient2D(a, b, [2]float64{2, 0}) != 0 {
+		t.Error("collinear triple not zero")
+	}
+}
+
+func TestOrient2DNearDegenerate(t *testing.T) {
+	// Points nearly collinear: the filter must fall through to exact
+	// arithmetic and give consistent signs.
+	a := [2]float64{0, 0}
+	b := [2]float64{1e-30, 1e-30}
+	c := [2]float64{2e-30, 2e-30}
+	if Orient2D(a, b, c) != 0 {
+		t.Error("exactly collinear tiny points should give zero")
+	}
+	d := [2]float64{2e-30, 2.0000000000000004e-30}
+	s1 := Orient2D(a, b, d)
+	s2 := Orient2D(b, a, d)
+	if s1 == 0 || s2 == 0 || (s1 > 0) == (s2 > 0) {
+		t.Errorf("inconsistent signs under swap: %v %v", s1, s2)
+	}
+}
+
+func TestInCircle(t *testing.T) {
+	a, b, c := [2]float64{0, 0}, [2]float64{1, 0}, [2]float64{0, 1}
+	if InCircle(a, b, c, [2]float64{0.5, 0.5}) <= 0 {
+		t.Error("circumcenter region point should be inside")
+	}
+	if InCircle(a, b, c, [2]float64{5, 5}) >= 0 {
+		t.Error("far point should be outside")
+	}
+	if v := InCircle(a, b, c, [2]float64{1, 1}); v != 0 {
+		t.Errorf("cocircular point should give 0, got %v", v)
+	}
+}
+
+func TestOrient3D(t *testing.T) {
+	a := [3]float64{0, 0, 0}
+	b := [3]float64{1, 0, 0}
+	c := [3]float64{0, 1, 0}
+	if Orient3D(a, b, c, [3]float64{0, 0, 1}) <= 0 {
+		t.Error("positive-side point not positive")
+	}
+	if Orient3D(a, b, c, [3]float64{0, 0, -1}) >= 0 {
+		t.Error("negative-side point not negative")
+	}
+	if Orient3D(a, b, c, [3]float64{3, 4, 0}) != 0 {
+		t.Error("coplanar point not zero")
+	}
+}
+
+func TestInSphere(t *testing.T) {
+	a := [3]float64{0, 0, 0}
+	b := [3]float64{1, 0, 0}
+	c := [3]float64{0, 1, 0}
+	d := [3]float64{0, 0, 1}
+	if Orient3D(a, b, c, d) <= 0 {
+		t.Fatal("test tetra must be positively oriented")
+	}
+	if InSphere(a, b, c, d, [3]float64{0.5, 0.5, 0.5}) <= 0 {
+		t.Error("circumcenter should be inside")
+	}
+	if InSphere(a, b, c, d, [3]float64{5, 5, 5}) >= 0 {
+		t.Error("far point should be outside")
+	}
+	if v := InSphere(a, b, c, d, [3]float64{1, 1, 1}); v != 0 {
+		t.Errorf("cospherical point should give 0, got %v", v)
+	}
+}
+
+func randomPoints2(n int, seed uint64) [][2]float64 {
+	r := prng.NewFromRaw(seed)
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	return pts
+}
+
+func randomPoints3(n int, seed uint64) [][3]float64 {
+	r := prng.NewFromRaw(seed)
+	pts := make([][3]float64, n)
+	for i := range pts {
+		pts[i] = [3]float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	return pts
+}
+
+// TestDelaunay2DEmptyCircle: the defining property — no point inside any
+// triangle's circumcircle (checked against all points, for triangles made
+// of real vertices whose circumcircle is well inside the domain; triangles
+// near the hull interact with the finite super-triangle).
+func TestDelaunay2DEmptyCircle(t *testing.T) {
+	pts := randomPoints2(250, 42)
+	tr := Triangulate2D(pts)
+	checked := 0
+	tr.Triangles(func(v0, v1, v2 int32) {
+		cx, cy, r2 := tr.Circumcircle(v0, v1, v2)
+		r := math.Sqrt(r2)
+		// Only validate circles fully inside the unit square: these cannot
+		// be affected by the artificial bounding triangle.
+		if cx-r < 0 || cx+r > 1 || cy-r < 0 || cy+r > 1 {
+			return
+		}
+		checked++
+		for i, p := range tr.Pts {
+			if int32(i) == v0 || int32(i) == v1 || int32(i) == v2 || i < 3 {
+				continue
+			}
+			if InCircle(tr.Pts[v0], tr.Pts[v1], tr.Pts[v2], p) > 0 {
+				t.Fatalf("point %d inside circumcircle of (%d,%d,%d)", i, v0, v1, v2)
+			}
+		}
+	})
+	if checked < 100 {
+		t.Fatalf("only %d interior triangles checked", checked)
+	}
+}
+
+// TestDelaunay2DStructure: Euler-type sanity — every input point inserted,
+// edges connect valid indices, neighbour pointers are mutual.
+func TestDelaunay2DStructure(t *testing.T) {
+	pts := randomPoints2(500, 7)
+	tr := Triangulate2D(pts)
+	if len(tr.Pts) != 503 {
+		t.Fatalf("%d points stored, want 503", len(tr.Pts))
+	}
+	edges := 0
+	tr.Edges(func(a, b int32) {
+		if a >= b || a < 3 || int(b) >= len(tr.Pts) {
+			t.Fatalf("bad edge (%d,%d)", a, b)
+		}
+		edges++
+	})
+	// A planar triangulation of n points has at most 3n-6 edges and, for
+	// random points, close to 3n.
+	if edges < 2*500 || edges > 3*500 {
+		t.Errorf("%d edges for 500 points", edges)
+	}
+	// Mutual neighbour pointers.
+	for ti := range tr.Tris {
+		if tr.dead[ti] {
+			continue
+		}
+		for _, nb := range tr.Tris[ti].N {
+			if nb < 0 {
+				continue
+			}
+			if tr.dead[nb] {
+				t.Fatalf("triangle %d points to dead neighbour %d", ti, nb)
+			}
+			found := false
+			for _, back := range tr.Tris[nb].N {
+				if back == int32(ti) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbour pointer %d->%d not mutual", ti, nb)
+			}
+		}
+	}
+}
+
+// TestDelaunay2DOrientation: all live triangles stay counter-clockwise.
+func TestDelaunay2DOrientation(t *testing.T) {
+	pts := randomPoints2(300, 9)
+	tr := Triangulate2D(pts)
+	for ti := range tr.Tris {
+		if tr.dead[ti] {
+			continue
+		}
+		v := tr.Tris[ti].V
+		if Orient2D(tr.Pts[v[0]], tr.Pts[v[1]], tr.Pts[v[2]]) <= 0 {
+			t.Fatalf("triangle %d not CCW", ti)
+		}
+	}
+}
+
+// TestDelaunay2DGrid: a regular grid stresses cocircular degeneracies
+// (every unit square's corners are cocircular).
+func TestDelaunay2DGrid(t *testing.T) {
+	var pts [][2]float64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pts = append(pts, [2]float64{float64(i) / 8, float64(j) / 8})
+		}
+	}
+	tr := Triangulate2D(pts)
+	count := 0
+	tr.Triangles(func(v0, v1, v2 int32) { count++ })
+	// 7x7 squares, two triangles each = 98 interior triangles minimum
+	// (hull triangles may touch the super-vertices).
+	if count < 90 {
+		t.Errorf("grid produced only %d real triangles", count)
+	}
+}
+
+// TestDelaunay3DEmptySphere: no real point strictly inside a well-interior
+// tetrahedron's circumsphere.
+func TestDelaunay3DEmptySphere(t *testing.T) {
+	pts := randomPoints3(220, 11)
+	tr := Triangulate3D(pts)
+	checked := 0
+	tr.Tetrahedra(func(v [4]int32) {
+		c, r2 := tr.Circumsphere(v)
+		r := math.Sqrt(r2)
+		for d := 0; d < 3; d++ {
+			if c[d]-r < 0 || c[d]+r > 1 {
+				return
+			}
+		}
+		checked++
+		for i, p := range tr.Pts {
+			if i < 4 || int32(i) == v[0] || int32(i) == v[1] || int32(i) == v[2] || int32(i) == v[3] {
+				continue
+			}
+			if InSphere(tr.Pts[v[0]], tr.Pts[v[1]], tr.Pts[v[2]], tr.Pts[v[3]], p) > 0 {
+				t.Fatalf("point %d inside circumsphere of %v", i, v)
+			}
+		}
+	})
+	if checked < 50 {
+		t.Fatalf("only %d interior tetrahedra checked", checked)
+	}
+}
+
+func TestDelaunay3DStructure(t *testing.T) {
+	pts := randomPoints3(300, 13)
+	tr := Triangulate3D(pts)
+	if len(tr.Pts) != 304 {
+		t.Fatalf("%d points stored", len(tr.Pts))
+	}
+	for ti := range tr.Tets {
+		if tr.dead[ti] {
+			continue
+		}
+		v := tr.Tets[ti].V
+		if Orient3D(tr.Pts[v[0]], tr.Pts[v[1]], tr.Pts[v[2]], tr.Pts[v[3]]) <= 0 {
+			t.Fatalf("tet %d not positively oriented", ti)
+		}
+		for _, nb := range tr.Tets[ti].N {
+			if nb < 0 {
+				continue
+			}
+			found := false
+			for _, back := range tr.Tets[nb].N {
+				if back == int32(ti) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("tet neighbour %d->%d not mutual", ti, nb)
+			}
+		}
+	}
+	edges := 0
+	tr.Edges(func(a, b int32) { edges++ })
+	// Random 3D Delaunay has ~7.8 edges per point on average (interior);
+	// accept a broad band.
+	if edges < 4*300 || edges > 9*300 {
+		t.Errorf("%d edges for 300 points", edges)
+	}
+}
+
+// TestCircumcircleCorrect: circumcenter equidistant from all three points.
+func TestCircumcircleCorrect(t *testing.T) {
+	r := prng.NewFromRaw(17)
+	for i := 0; i < 1000; i++ {
+		a := [2]float64{r.Float64(), r.Float64()}
+		b := [2]float64{r.Float64(), r.Float64()}
+		c := [2]float64{r.Float64(), r.Float64()}
+		cx, cy, r2 := circumcircle(a, b, c)
+		for _, p := range [][2]float64{a, b, c} {
+			d2 := (p[0]-cx)*(p[0]-cx) + (p[1]-cy)*(p[1]-cy)
+			if math.Abs(d2-r2) > 1e-6*(1+r2) {
+				t.Fatalf("circumcircle not equidistant: %v vs %v", d2, r2)
+			}
+		}
+	}
+}
+
+// TestCircumsphereCorrect: same in 3D.
+func TestCircumsphereCorrect(t *testing.T) {
+	r := prng.NewFromRaw(19)
+	for i := 0; i < 1000; i++ {
+		a := [3]float64{r.Float64(), r.Float64(), r.Float64()}
+		b := [3]float64{r.Float64(), r.Float64(), r.Float64()}
+		c := [3]float64{r.Float64(), r.Float64(), r.Float64()}
+		d := [3]float64{r.Float64(), r.Float64(), r.Float64()}
+		center, r2 := circumsphere(a, b, c, d)
+		for _, p := range [][3]float64{a, b, c, d} {
+			var d2 float64
+			for k := 0; k < 3; k++ {
+				d2 += (p[k] - center[k]) * (p[k] - center[k])
+			}
+			if math.Abs(d2-r2) > 1e-5*(1+r2) {
+				t.Fatalf("circumsphere not equidistant: %v vs %v", d2, r2)
+			}
+		}
+	}
+}
+
+func BenchmarkTriangulate2D(b *testing.B) {
+	pts := randomPoints2(2000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Triangulate2D(pts)
+	}
+}
+
+func BenchmarkTriangulate3D(b *testing.B) {
+	pts := randomPoints3(500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Triangulate3D(pts)
+	}
+}
+
+// TestDelaunay3DLattice: a cubic lattice is maximally degenerate (every
+// cell's 8 corners are cospherical); the filtered exact predicates must
+// still produce a valid tetrahedralization with mutual neighbour pointers
+// and positive orientation.
+func TestDelaunay3DLattice(t *testing.T) {
+	var pts [][3]float64
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 5; k++ {
+				pts = append(pts, [3]float64{float64(i) / 5, float64(j) / 5, float64(k) / 5})
+			}
+		}
+	}
+	tr := Triangulate3D(pts)
+	count := 0
+	for ti := range tr.Tets {
+		if tr.dead[ti] {
+			continue
+		}
+		v := tr.Tets[ti].V
+		if Orient3D(tr.Pts[v[0]], tr.Pts[v[1]], tr.Pts[v[2]], tr.Pts[v[3]]) <= 0 {
+			t.Fatalf("tet %d not positively oriented", ti)
+		}
+		for _, nb := range tr.Tets[ti].N {
+			if nb < 0 {
+				continue
+			}
+			mutual := false
+			for _, back := range tr.Tets[nb].N {
+				if back == int32(ti) {
+					mutual = true
+				}
+			}
+			if !mutual {
+				t.Fatalf("non-mutual neighbour %d -> %d", ti, nb)
+			}
+		}
+		count++
+	}
+	// A 4x4x4 cube decomposition yields at least 5 tets per cell.
+	if count < 4*4*4*5 {
+		t.Errorf("lattice produced only %d tets", count)
+	}
+}
+
+// TestDelaunay2DCollinearRows: many collinear points stress the walk and
+// the zero-orientation handling.
+func TestDelaunay2DCollinearRows(t *testing.T) {
+	var pts [][2]float64
+	for i := 0; i < 30; i++ {
+		pts = append(pts, [2]float64{float64(i) / 30, 0.5})
+	}
+	for i := 0; i < 30; i++ {
+		pts = append(pts, [2]float64{float64(i) / 30, 0.6})
+	}
+	tr := Triangulate2D(pts)
+	edges := 0
+	tr.Edges(func(a, b int32) { edges++ })
+	if edges < 59 {
+		t.Errorf("two collinear rows produced only %d edges", edges)
+	}
+}

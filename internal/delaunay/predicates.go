@@ -1,0 +1,211 @@
+// Package delaunay implements incremental Bowyer–Watson Delaunay
+// triangulation in two and three dimensions — the substrate of the random
+// Delaunay graph generator (paper §6), standing in for the CGAL backend of
+// the original implementation.
+//
+// Geometric predicates use a floating-point filter: the determinant is
+// evaluated in float64 together with a bound on its rounding error; only
+// when the sign is uncertain is the computation repeated in high-precision
+// arithmetic (math/big.Float), which keeps the triangulation robust
+// without paying the exact-arithmetic cost on the common path.
+package delaunay
+
+import "math/big"
+
+// filterEps scales the permanent (the sum of absolute products) into an
+// error bound for the float64 determinant evaluation. 2^-44 is loose
+// enough to cover every rounding path of the small determinants used here.
+const filterEps = 1.0 / (1 << 44)
+
+// bigPrec is the mantissa precision for the exact fallback; large enough
+// that all products and sums of float64 inputs keep their sign.
+const bigPrec = 420
+
+// Orient2D returns a positive value if (a, b, c) wind counter-clockwise,
+// negative if clockwise, zero if collinear.
+func Orient2D(a, b, c [2]float64) float64 {
+	adx, ady := a[0]-c[0], a[1]-c[1]
+	bdx, bdy := b[0]-c[0], b[1]-c[1]
+	det := adx*bdy - ady*bdx
+	perm := abs(adx*bdy) + abs(ady*bdx)
+	if det > perm*filterEps || -det > perm*filterEps {
+		return det
+	}
+	return orient2DExact(a, b, c)
+}
+
+func orient2DExact(a, b, c [2]float64) float64 {
+	bf := func(x float64) *big.Float { return big.NewFloat(x).SetPrec(bigPrec) }
+	adx := new(big.Float).SetPrec(bigPrec).Sub(bf(a[0]), bf(c[0]))
+	ady := new(big.Float).SetPrec(bigPrec).Sub(bf(a[1]), bf(c[1]))
+	bdx := new(big.Float).SetPrec(bigPrec).Sub(bf(b[0]), bf(c[0]))
+	bdy := new(big.Float).SetPrec(bigPrec).Sub(bf(b[1]), bf(c[1]))
+	t1 := new(big.Float).SetPrec(bigPrec).Mul(adx, bdy)
+	t2 := new(big.Float).SetPrec(bigPrec).Mul(ady, bdx)
+	det := t1.Sub(t1, t2)
+	f, _ := det.Float64()
+	return f
+}
+
+// InCircle returns a positive value if d lies inside the circumcircle of
+// the counter-clockwise triangle (a, b, c), negative outside, zero on it.
+func InCircle(a, b, c, d [2]float64) float64 {
+	adx, ady := a[0]-d[0], a[1]-d[1]
+	bdx, bdy := b[0]-d[0], b[1]-d[1]
+	cdx, cdy := c[0]-d[0], c[1]-d[1]
+
+	ad2 := adx*adx + ady*ady
+	bd2 := bdx*bdx + bdy*bdy
+	cd2 := cdx*cdx + cdy*cdy
+
+	m1 := bdx*cdy - bdy*cdx
+	m2 := adx*cdy - ady*cdx
+	m3 := adx*bdy - ady*bdx
+
+	det := ad2*m1 - bd2*m2 + cd2*m3
+	perm := ad2*(abs(bdx*cdy)+abs(bdy*cdx)) +
+		bd2*(abs(adx*cdy)+abs(ady*cdx)) +
+		cd2*(abs(adx*bdy)+abs(ady*bdx))
+	if det > perm*filterEps || -det > perm*filterEps {
+		return det
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+func inCircleExact(a, b, c, d [2]float64) float64 {
+	rows := make([][3]*big.Float, 3)
+	for i, p := range [][2]float64{a, b, c} {
+		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(d[0]))
+		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(d[1]))
+		sq := new(big.Float).SetPrec(bigPrec).Mul(dx, dx)
+		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dy, dy))
+		rows[i] = [3]*big.Float{dx, dy, sq}
+	}
+	det := det3Big(rows)
+	f, _ := det.Float64()
+	return f
+}
+
+// det3Big computes a 3x3 determinant of big.Float rows.
+func det3Big(r [][3]*big.Float) *big.Float {
+	mul := func(x, y *big.Float) *big.Float {
+		return new(big.Float).SetPrec(bigPrec).Mul(x, y)
+	}
+	sub := func(x, y *big.Float) *big.Float {
+		return new(big.Float).SetPrec(bigPrec).Sub(x, y)
+	}
+	m1 := sub(mul(r[1][1], r[2][2]), mul(r[1][2], r[2][1]))
+	m2 := sub(mul(r[1][0], r[2][2]), mul(r[1][2], r[2][0]))
+	m3 := sub(mul(r[1][0], r[2][1]), mul(r[1][1], r[2][0]))
+	det := mul(r[0][0], m1)
+	det.Sub(det, mul(r[0][1], m2))
+	det.Add(det, mul(r[0][2], m3))
+	return det
+}
+
+// Orient3D returns a positive value if d lies on the positive side of the
+// plane through (a, b, c) — the side towards which (b-a) x (c-a) points —
+// negative on the other side, zero if coplanar.
+func Orient3D(a, b, c, d [3]float64) float64 {
+	// det of rows (b-a, c-a, d-a): positive when d is on the side of
+	// (b-a) x (c-a).
+	bax, bay, baz := b[0]-a[0], b[1]-a[1], b[2]-a[2]
+	cax, cay, caz := c[0]-a[0], c[1]-a[1], c[2]-a[2]
+	dax, day, daz := d[0]-a[0], d[1]-a[1], d[2]-a[2]
+
+	det := bax*(cay*daz-caz*day) - bay*(cax*daz-caz*dax) + baz*(cax*day-cay*dax)
+	perm := abs(bax)*(abs(cay*daz)+abs(caz*day)) +
+		abs(bay)*(abs(cax*daz)+abs(caz*dax)) +
+		abs(baz)*(abs(cax*day)+abs(cay*dax))
+	if det > perm*filterEps || -det > perm*filterEps {
+		return det
+	}
+	return orient3DExact(a, b, c, d)
+}
+
+func orient3DExact(a, b, c, d [3]float64) float64 {
+	rows := make([][3]*big.Float, 3)
+	for i, p := range [][3]float64{b, c, d} {
+		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(a[0]))
+		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(a[1]))
+		dz := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[2]), big.NewFloat(a[2]))
+		rows[i] = [3]*big.Float{dx, dy, dz}
+	}
+	f, _ := det3Big(rows).Float64()
+	return f
+}
+
+// InSphere returns a positive value if e lies inside the circumsphere of
+// the positively oriented tetrahedron (a, b, c, d) (Orient3D(a,b,c,d) > 0),
+// negative outside, zero on it.
+func InSphere(a, b, c, d, e [3]float64) float64 {
+	pts := [4][3]float64{a, b, c, d}
+	var dx, dy, dz, sq [4]float64
+	var perm float64
+	for i, p := range pts {
+		dx[i] = p[0] - e[0]
+		dy[i] = p[1] - e[1]
+		dz[i] = p[2] - e[2]
+		sq[i] = dx[i]*dx[i] + dy[i]*dy[i] + dz[i]*dz[i]
+	}
+	// Expand along the squared-length column: det of the 4x4 matrix
+	// [dx dy dz sq] rows a..d.
+	minor := func(i, j, k int) float64 {
+		return dx[i]*(dy[j]*dz[k]-dz[j]*dy[k]) -
+			dy[i]*(dx[j]*dz[k]-dz[j]*dx[k]) +
+			dz[i]*(dx[j]*dy[k]-dy[j]*dx[k])
+	}
+	minorAbs := func(i, j, k int) float64 {
+		return abs(dx[i])*(abs(dy[j]*dz[k])+abs(dz[j]*dy[k])) +
+			abs(dy[i])*(abs(dx[j]*dz[k])+abs(dz[j]*dx[k])) +
+			abs(dz[i])*(abs(dx[j]*dy[k])+abs(dy[j]*dx[k]))
+	}
+	// Expansion along the sq column gives negative-inside for positively
+	// oriented tetrahedra; the signs below are flipped so that positive
+	// means inside.
+	det := sq[0]*minor(1, 2, 3) - sq[1]*minor(0, 2, 3) +
+		sq[2]*minor(0, 1, 3) - sq[3]*minor(0, 1, 2)
+	perm = sq[0]*minorAbs(1, 2, 3) + sq[1]*minorAbs(0, 2, 3) +
+		sq[2]*minorAbs(0, 1, 3) + sq[3]*minorAbs(0, 1, 2)
+	if det > perm*filterEps || -det > perm*filterEps {
+		return det
+	}
+	return inSphereExact(a, b, c, d, e)
+}
+
+func inSphereExact(a, b, c, d, e [3]float64) float64 {
+	type row struct{ x, y, z, s *big.Float }
+	rows := make([]row, 4)
+	for i, p := range [][3]float64{a, b, c, d} {
+		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(e[0]))
+		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(e[1]))
+		dz := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[2]), big.NewFloat(e[2]))
+		sq := new(big.Float).SetPrec(bigPrec).Mul(dx, dx)
+		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dy, dy))
+		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dz, dz))
+		rows[i] = row{dx, dy, dz, sq}
+	}
+	minor := func(i, j, k int) *big.Float {
+		return det3Big([][3]*big.Float{
+			{rows[i].x, rows[i].y, rows[i].z},
+			{rows[j].x, rows[j].y, rows[j].z},
+			{rows[k].x, rows[k].y, rows[k].z},
+		})
+	}
+	mul := func(x, y *big.Float) *big.Float {
+		return new(big.Float).SetPrec(bigPrec).Mul(x, y)
+	}
+	det := mul(rows[0].s, minor(1, 2, 3))
+	det.Sub(det, mul(rows[1].s, minor(0, 2, 3)))
+	det.Add(det, mul(rows[2].s, minor(0, 1, 3)))
+	det.Sub(det, mul(rows[3].s, minor(0, 1, 2)))
+	f, _ := det.Float64()
+	return f
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

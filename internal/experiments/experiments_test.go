@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUnknownExperiment: Run must reject unknown names.
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("fig99", Config{Out: &bytes.Buffer{}}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 13 {
+		t.Fatalf("%d experiments, want 13 (Figs. 6-18)", len(names))
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "fig") {
+			t.Errorf("bad experiment name %q", n)
+		}
+	}
+}
+
+// runAndParse executes one experiment in quick mode and returns its rows.
+func runAndParse(t *testing.T, name string) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(name, Config{Quick: true, Seed: 1, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rows = append(rows, line)
+	}
+	return rows
+}
+
+// TestFig06Series: the cheapest experiment end to end — must produce a
+// header plus one row per (variant, n, m) combination with positive times.
+func TestFig06Series(t *testing.T) {
+	rows := runAndParse(t, "fig06")
+	dataRows := 0
+	for _, row := range rows {
+		if !strings.Contains(row, ",") {
+			continue
+		}
+		fields := strings.Split(row, ",")
+		if fields[0] == "variant" {
+			continue // column header
+		}
+		if len(fields) != 5 {
+			t.Fatalf("row %q has %d fields", row, len(fields))
+		}
+		dataRows++
+	}
+	// Quick mode: 1 n x 4 m values x 2 variants.
+	if dataRows != 8 {
+		t.Errorf("fig06 quick produced %d data rows, want 8", dataRows)
+	}
+}
+
+// TestFig17Series: weak-scaling harness plumbing (cheap experiment).
+func TestFig17Series(t *testing.T) {
+	rows := runAndParse(t, "fig17")
+	dataRows := 0
+	for _, row := range rows {
+		fields := strings.Split(row, ",")
+		if len(fields) == 3 && fields[0] != "m_per_pe" {
+			dataRows++
+		}
+	}
+	if dataRows < 3 {
+		t.Errorf("fig17 quick produced only %d rows", dataRows)
+	}
+}
+
+func TestSamplePEs(t *testing.T) {
+	// All PEs when P <= 16.
+	s := samplePEs(5, 16)
+	if len(s) != 5 {
+		t.Fatalf("got %d samples", len(s))
+	}
+	for i, pe := range s {
+		if pe != uint64(i) {
+			t.Fatalf("sample %d = %d", i, pe)
+		}
+	}
+	// Spread sample includes first and last for big P.
+	s = samplePEs(1000, 16)
+	if len(s) != 16 {
+		t.Fatalf("got %d samples", len(s))
+	}
+	if s[0] != 0 || s[15] != 999 {
+		t.Fatalf("sample endpoints %d, %d", s[0], s[15])
+	}
+	for _, pe := range s {
+		if pe >= 1000 {
+			t.Fatalf("sample %d out of range", pe)
+		}
+	}
+}

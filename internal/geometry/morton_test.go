@@ -1,0 +1,96 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMorton2RoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := MortonDecode2(MortonEncode2(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorton3RoundTrip(t *testing.T) {
+	f := func(xr, yr, zr uint32) bool {
+		x, y, z := xr&0x1fffff, yr&0x1fffff, zr&0x1fffff
+		gx, gy, gz := MortonDecode3(MortonEncode3(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorton2Order(t *testing.T) {
+	// The Z-curve visits the 2x2 blocks in order (0,0),(1,0),(0,1),(1,1)
+	// for the (x,y) bit interleaving used here.
+	want := []uint64{0, 1, 2, 3}
+	got := []uint64{
+		MortonEncode2(0, 0), MortonEncode2(1, 0),
+		MortonEncode2(0, 1), MortonEncode2(1, 1),
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMortonLocality: consecutive Morton indices decode to cells at
+// Chebyshev distance 1 at least half of the time within a small block —
+// a sanity property of the locality-aware assignment.
+func TestMortonLocality(t *testing.T) {
+	close := 0
+	const total = 255
+	for m := uint64(0); m < total; m++ {
+		x1, y1 := MortonDecode2(m)
+		x2, y2 := MortonDecode2(m + 1)
+		dx := int64(x2) - int64(x1)
+		dy := int64(y2) - int64(y1)
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx <= 1 && dy <= 1 {
+			close++
+		}
+	}
+	if close < total/2 {
+		t.Errorf("only %d of %d consecutive pairs adjacent", close, total)
+	}
+}
+
+func TestMortonDispatch(t *testing.T) {
+	c := [3]uint32{5, 9, 0}
+	if MortonEncode(2, c) != MortonEncode2(5, 9) {
+		t.Error("2d dispatch wrong")
+	}
+	c3 := [3]uint32{5, 9, 13}
+	if MortonEncode(3, c3) != MortonEncode3(5, 9, 13) {
+		t.Error("3d dispatch wrong")
+	}
+	if MortonDecode(2, MortonEncode2(7, 3)) != [3]uint32{7, 3, 0} {
+		t.Error("2d decode dispatch wrong")
+	}
+	if MortonDecode(3, MortonEncode3(7, 3, 1)) != [3]uint32{7, 3, 1} {
+		t.Error("3d decode dispatch wrong")
+	}
+}
+
+func TestDist2(t *testing.T) {
+	a := [3]float64{0, 0, 0}
+	b := [3]float64{3, 4, 12}
+	if d := Dist2(2, a, b); d != 25 {
+		t.Errorf("2d dist2 = %v, want 25", d)
+	}
+	if d := Dist2(3, a, b); d != 169 {
+		t.Errorf("3d dist2 = %v, want 169", d)
+	}
+}

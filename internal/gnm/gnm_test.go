@@ -1,0 +1,308 @@
+package gnm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestDirectedExactCount(t *testing.T) {
+	for _, chunks := range []uint64{1, 2, 7, 16} {
+		p := Params{N: 1000, M: 5000, Directed: true, Seed: 42, Chunks: chunks}
+		el, err := Generate(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if el.Len() != 5000 {
+			t.Errorf("chunks=%d: %d edges, want 5000", chunks, el.Len())
+		}
+		if el.CountSelfLoops() != 0 {
+			t.Errorf("chunks=%d: self loops present", chunks)
+		}
+		if el.CountDuplicates() != 0 {
+			t.Errorf("chunks=%d: duplicate edges present", chunks)
+		}
+		for _, e := range el.Edges {
+			if e.U >= p.N || e.V >= p.N {
+				t.Fatalf("edge %v out of range", e)
+			}
+		}
+	}
+}
+
+func TestDirectedCompleteGraph(t *testing.T) {
+	p := Params{N: 40, M: 40 * 39, Directed: true, Seed: 1, Chunks: 4}
+	el, err := Generate(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Len() != 40*39 {
+		t.Fatalf("%d edges, want %d", el.Len(), 40*39)
+	}
+	el.Dedup()
+	if el.Len() != 40*39 {
+		t.Fatal("complete graph contains duplicates")
+	}
+}
+
+func TestUndirectedCounts(t *testing.T) {
+	for _, chunks := range []uint64{1, 2, 5, 13} {
+		p := Params{N: 500, M: 3000, Seed: 7, Chunks: chunks}
+		el, err := Generate(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Partitioned output: each undirected edge once per endpoint.
+		if el.Len() != 6000 {
+			t.Errorf("chunks=%d: %d directed copies, want 6000", chunks, el.Len())
+		}
+		und := el.UndirectedSet()
+		if len(und) != 3000 {
+			t.Errorf("chunks=%d: %d undirected edges, want 3000", chunks, len(und))
+		}
+		if el.CountSelfLoops() != 0 {
+			t.Errorf("chunks=%d: self loops present", chunks)
+		}
+	}
+}
+
+// TestUndirectedBothOrientations: the merged output must contain (u,v) and
+// (v,u) for every sampled pair — each endpoint's owner emits its copy.
+func TestUndirectedBothOrientations(t *testing.T) {
+	p := Params{N: 300, M: 2000, Seed: 3, Chunks: 8}
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[graph.Edge]bool, el.Len())
+	for _, e := range el.Edges {
+		present[e] = true
+	}
+	for _, e := range el.Edges {
+		if !present[graph.Edge{U: e.V, V: e.U}] {
+			t.Fatalf("missing reverse orientation of %v", e)
+		}
+	}
+}
+
+// TestRedundancyConsistency is invariant 2 of DESIGN.md: PE i and PE j
+// generate identical edges for their shared chunk (i,j).
+func TestRedundancyConsistency(t *testing.T) {
+	p := Params{N: 400, M: 2500, Seed: 11, Chunks: 8}
+	ch := chunkingOf(p)
+	for i := uint64(0); i < 8; i++ {
+		for j := uint64(0); j < i; j++ {
+			ei := GenerateChunk(p, i)
+			ej := GenerateChunk(p, j)
+			// Edges of PE i with the other endpoint in chunk j.
+			setI := make(map[graph.Edge]bool)
+			for _, e := range ei {
+				if ch.Owner(e.U) == i && ch.Owner(e.V) == j {
+					setI[e] = true
+				}
+			}
+			count := 0
+			for _, e := range ej {
+				if ch.Owner(e.U) == j && ch.Owner(e.V) == i {
+					if !setI[graph.Edge{U: e.V, V: e.U}] {
+						t.Fatalf("chunk (%d,%d): PE %d has %v but PE %d lacks the mirror", i, j, j, e, i)
+					}
+					count++
+				}
+			}
+			if count != len(setI) {
+				t.Fatalf("chunk (%d,%d): PE %d sees %d cross edges, PE %d sees %d", i, j, i, len(setI), j, count)
+			}
+		}
+	}
+}
+
+func chunkingOf(p Params) interface{ Owner(uint64) uint64 } {
+	return chunking{p}
+}
+
+type chunking struct{ p Params }
+
+func (c chunking) Owner(v uint64) uint64 {
+	P := c.p.chunks()
+	return ((v+1)*P - 1) / c.p.N
+}
+
+// TestWorkerIndependence: the merged edge set must not depend on how many
+// goroutines execute the logical PEs (communication-free determinism).
+func TestWorkerIndependence(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		p := Params{N: 600, M: 4000, Directed: directed, Seed: 5, Chunks: 16}
+		base, err := Generate(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base.Sort()
+		for _, workers := range []int{2, 4, 16} {
+			got, err := Generate(p, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Sort()
+			if got.Len() != base.Len() {
+				t.Fatalf("directed=%v workers=%d: edge count changed", directed, workers)
+			}
+			for i := range base.Edges {
+				if base.Edges[i] != got.Edges[i] {
+					t.Fatalf("directed=%v workers=%d: edge %d differs", directed, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDirectedUniformity: across many seeds every possible directed edge
+// appears with probability m / (n(n-1)).
+func TestDirectedUniformity(t *testing.T) {
+	const n = 12
+	const m = 16
+	const trials = 8000
+	counts := make(map[graph.Edge]int)
+	for s := uint64(0); s < trials; s++ {
+		p := Params{N: n, M: m, Directed: true, Seed: s, Chunks: 3}
+		el, err := Generate(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range el.Edges {
+			counts[e]++
+		}
+	}
+	want := float64(trials) * m / float64(n*(n-1))
+	for u := uint64(0); u < n; u++ {
+		for v := uint64(0); v < n; v++ {
+			if u == v {
+				continue
+			}
+			c := counts[graph.Edge{U: u, V: v}]
+			if math.Abs(float64(c)-want)/want > 0.15 {
+				t.Errorf("edge (%d,%d): %d occurrences, want ~%v", u, v, c, want)
+			}
+		}
+	}
+}
+
+// TestUndirectedUniformity: same for unordered pairs.
+func TestUndirectedUniformity(t *testing.T) {
+	const n = 10
+	const m = 9
+	const trials = 8000
+	counts := make(map[graph.Edge]int)
+	for s := uint64(0); s < trials; s++ {
+		p := Params{N: n, M: m, Seed: s, Chunks: 4}
+		el, err := Generate(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range el.UndirectedSet() {
+			counts[e]++
+		}
+	}
+	want := float64(trials) * m / float64(n*(n-1)/2)
+	for u := uint64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			c := counts[graph.Edge{U: u, V: v}]
+			if math.Abs(float64(c)-want)/want > 0.15 {
+				t.Errorf("pair {%d,%d}: %d occurrences, want ~%v", u, v, c, want)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{N: 0, M: 0}).Validate(); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := (Params{N: 10, M: 46}).Validate(); err == nil {
+		t.Error("undirected m > max accepted")
+	}
+	if err := (Params{N: 10, M: 45}).Validate(); err != nil {
+		t.Errorf("undirected complete graph rejected: %v", err)
+	}
+	if err := (Params{N: 10, M: 90, Directed: true}).Validate(); err != nil {
+		t.Errorf("directed complete graph rejected: %v", err)
+	}
+	if err := (Params{N: 10, M: 91, Directed: true}).Validate(); err == nil {
+		t.Error("directed m > max accepted")
+	}
+	if err := (Params{N: 4, M: 1, Chunks: 8}).Validate(); err == nil {
+		t.Error("more chunks than vertices accepted")
+	}
+}
+
+func TestTriangularIndex(t *testing.T) {
+	// Exhaustive check of the first rows.
+	idx := uint64(0)
+	for row := uint64(1); row < 80; row++ {
+		for col := uint64(0); col < row; col++ {
+			r, c := triangularIndex(idx)
+			if r != row || c != col {
+				t.Fatalf("index %d: got (%d,%d), want (%d,%d)", idx, r, c, row, col)
+			}
+			idx++
+		}
+	}
+}
+
+func TestTriangularIndexProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		idx := uint64(raw)
+		r, c := triangularIndex(idx)
+		return c < r && r*(r-1)/2+c == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyValidInstances: arbitrary parameters produce exactly the
+// requested number of edges with the partitioned-output convention.
+func TestPropertyValidInstances(t *testing.T) {
+	f := func(seed uint16, nRaw, mRaw uint16, cRaw uint8, directed bool) bool {
+		n := uint64(nRaw%200) + 2
+		maxM := n * (n - 1)
+		if !directed {
+			maxM /= 2
+		}
+		m := uint64(mRaw) % (maxM + 1)
+		chunks := uint64(cRaw%8) + 1
+		if chunks > n {
+			chunks = n
+		}
+		p := Params{N: n, M: m, Directed: directed, Seed: uint64(seed), Chunks: chunks}
+		el, err := Generate(p, 2)
+		if err != nil {
+			return false
+		}
+		if directed {
+			return uint64(el.Len()) == m && el.CountDuplicates() == 0 && el.CountSelfLoops() == 0
+		}
+		return uint64(el.Len()) == 2*m && uint64(len(el.UndirectedSet())) == m && el.CountSelfLoops() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDirectedChunk(b *testing.B) {
+	p := Params{N: 1 << 18, M: 1 << 22, Directed: true, Seed: 1, Chunks: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateChunk(p, 7)
+	}
+}
+
+func BenchmarkUndirectedChunk(b *testing.B) {
+	p := Params{N: 1 << 18, M: 1 << 22, Seed: 1, Chunks: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateChunk(p, 7)
+	}
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// BFSDistances returns the hop distance from root to every vertex over the
+// undirected interpretation of the edge list (-1 for unreachable) and the
+// number of reached vertices.
+func BFSDistances(e *EdgeList, root uint64) ([]int32, int) {
+	adj := make([][]uint64, e.N)
+	for _, edge := range e.Edges {
+		adj[edge.U] = append(adj[edge.U], edge.V)
+		adj[edge.V] = append(adj[edge.V], edge.U)
+	}
+	dist := make([]int32, e.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	frontier := []uint64{root}
+	reached := 1
+	for len(frontier) > 0 {
+		var next []uint64
+		for _, v := range frontier {
+			for _, u := range adj[v] {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					next = append(next, u)
+					reached++
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, reached
+}
+
+// EffectiveDiameter returns the 90th-percentile BFS distance from the
+// given root (a cheap single-source proxy for the effective diameter used
+// in network analysis).
+func EffectiveDiameter(e *EdgeList, root uint64) int32 {
+	dist, reached := BFSDistances(e, root)
+	if reached <= 1 {
+		return 0
+	}
+	// Histogram of distances.
+	var mx int32
+	for _, d := range dist {
+		if d > mx {
+			mx = d
+		}
+	}
+	hist := make([]int, mx+1)
+	for _, d := range dist {
+		if d >= 0 {
+			hist[d]++
+		}
+	}
+	target := int(math.Ceil(0.9 * float64(reached)))
+	seen := 0
+	for d, c := range hist {
+		seen += c
+		if seen >= target {
+			return int32(d)
+		}
+	}
+	return mx
+}
+
+// DegreeAssortativity returns the Pearson correlation of the degrees at
+// the two endpoints of every edge (Newman's assortativity coefficient).
+// Social networks are assortative (> 0); technological and hyperbolic
+// graphs are typically disassortative (< 0).
+func DegreeAssortativity(e *EdgeList) float64 {
+	if len(e.Edges) == 0 {
+		return 0
+	}
+	deg := OutDegrees(e)
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(len(e.Edges))
+	for _, edge := range e.Edges {
+		x := float64(deg[edge.U])
+		y := float64(deg[edge.V])
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// LabelPropagation runs asynchronous label propagation for at most
+// maxRounds sweeps and returns the final label of every vertex. Vertices
+// are visited in a seeded random order each round; a vertex keeps its
+// current label when it is among the most frequent neighbour labels
+// (otherwise a global minimum label percolates through weak cuts and
+// collapses all communities). Deterministic for a fixed seed.
+func LabelPropagation(e *EdgeList, maxRounds int, seed uint64) []uint64 {
+	adj := make([][]uint64, e.N)
+	for _, edge := range e.Edges {
+		adj[edge.U] = append(adj[edge.U], edge.V)
+		adj[edge.V] = append(adj[edge.V], edge.U)
+	}
+	labels := make([]uint64, e.N)
+	order := make([]uint64, e.N)
+	for i := range labels {
+		labels[i] = uint64(i)
+		order[i] = uint64(i)
+	}
+	r := prng.New(seed, 0x6c6162656c) // "label"
+	counts := make(map[uint64]int)
+	for round := 0; round < maxRounds; round++ {
+		// Fisher-Yates shuffle of the sweep order.
+		for i := len(order) - 1; i > 0; i-- {
+			j := r.UintN(uint64(i + 1))
+			order[i], order[j] = order[j], order[i]
+		}
+		changed := 0
+		for _, v := range order {
+			if len(adj[v]) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, u := range adj[v] {
+				counts[labels[u]]++
+			}
+			bestCount := 0
+			for _, c := range counts {
+				if c > bestCount {
+					bestCount = c
+				}
+			}
+			if counts[labels[v]] == bestCount {
+				continue // keep the current label on ties
+			}
+			// Choose uniformly among the argmax labels. Sorting first
+			// removes the runtime's map-iteration nondeterminism so the
+			// result is a pure function of the seed.
+			var cands []uint64
+			for label, c := range counts {
+				if c == bestCount {
+					cands = append(cands, label)
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			labels[v] = cands[r.UintN(uint64(len(cands)))]
+			changed++
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return labels
+}
+
+// RandIndexSample estimates the Rand index between a clustering and a
+// ground-truth assignment by sampling pairs: the fraction of vertex pairs
+// on which the two agree (same cluster in both, or different in both).
+func RandIndexSample(labels, truth []uint64, samples int, seed uint64) float64 {
+	if len(labels) != len(truth) || len(labels) < 2 {
+		return 0
+	}
+	r := prng.New(seed, 0x72616e64) // "rand"
+	n := uint64(len(labels))
+	agree := 0
+	for i := 0; i < samples; i++ {
+		a := r.UintN(n)
+		b := r.UintN(n - 1)
+		if b >= a {
+			b++
+		}
+		sameL := labels[a] == labels[b]
+		sameT := truth[a] == truth[b]
+		if sameL == sameT {
+			agree++
+		}
+	}
+	return float64(agree) / float64(samples)
+}

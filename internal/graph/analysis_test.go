@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func pathGraph(n uint64) *EdgeList {
+	e := &EdgeList{N: n}
+	for v := uint64(0); v+1 < n; v++ {
+		e.Edges = append(e.Edges, Edge{v, v + 1})
+	}
+	return e
+}
+
+func TestBFSDistancesPath(t *testing.T) {
+	e := pathGraph(6)
+	dist, reached := BFSDistances(e, 0)
+	if reached != 6 {
+		t.Fatalf("reached %d", reached)
+	}
+	for v := uint64(0); v < 6; v++ {
+		if dist[v] != int32(v) {
+			t.Fatalf("dist[%d] = %d", v, dist[v])
+		}
+	}
+}
+
+func TestBFSDistancesDisconnected(t *testing.T) {
+	e := &EdgeList{N: 4, Edges: []Edge{{0, 1}}}
+	dist, reached := BFSDistances(e, 0)
+	if reached != 2 {
+		t.Fatalf("reached %d, want 2", reached)
+	}
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatal("unreachable vertices should have distance -1")
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	// Path of 11 vertices from one end: distances 0..10; 90th percentile
+	// of 11 reached vertices is distance 9.
+	e := pathGraph(11)
+	d := EffectiveDiameter(e, 0)
+	if d != 9 {
+		t.Fatalf("effective diameter %d, want 9", d)
+	}
+	// Star: everything at distance 1.
+	star := &EdgeList{N: 8}
+	for v := uint64(1); v < 8; v++ {
+		star.Edges = append(star.Edges, Edge{0, v})
+	}
+	if d := EffectiveDiameter(star, 0); d != 1 {
+		t.Fatalf("star diameter %d, want 1", d)
+	}
+	// Isolated root.
+	iso := &EdgeList{N: 3}
+	if d := EffectiveDiameter(iso, 0); d != 0 {
+		t.Fatalf("isolated diameter %d, want 0", d)
+	}
+}
+
+func TestDegreeAssortativityRegularGraph(t *testing.T) {
+	// A cycle is perfectly regular: zero variance, defined as 0 here.
+	cycle := &EdgeList{N: 6}
+	for v := uint64(0); v < 6; v++ {
+		cycle.Edges = append(cycle.Edges, Edge{v, (v + 1) % 6}, Edge{(v + 1) % 6, v})
+	}
+	if a := DegreeAssortativity(cycle); a != 0 {
+		t.Fatalf("regular graph assortativity %v, want 0", a)
+	}
+}
+
+func TestDegreeAssortativityStar(t *testing.T) {
+	// A star is maximally disassortative: hubs connect to leaves only.
+	star := &EdgeList{N: 10}
+	for v := uint64(1); v < 10; v++ {
+		star.Edges = append(star.Edges, Edge{0, v}, Edge{v, 0})
+	}
+	a := DegreeAssortativity(star)
+	if math.Abs(a-(-1)) > 1e-9 {
+		t.Fatalf("star assortativity %v, want -1", a)
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	// Two 5-cliques joined by a single edge: two communities.
+	e := &EdgeList{N: 10}
+	addClique := func(lo, hi uint64) {
+		for u := lo; u < hi; u++ {
+			for v := lo; v < hi; v++ {
+				if u != v {
+					e.Edges = append(e.Edges, Edge{u, v})
+				}
+			}
+		}
+	}
+	addClique(0, 5)
+	addClique(5, 10)
+	e.Edges = append(e.Edges, Edge{4, 5}, Edge{5, 4})
+	labels := LabelPropagation(e, 50, 1)
+	for v := uint64(1); v < 5; v++ {
+		if labels[v] != labels[0] {
+			t.Fatalf("clique 1 not uniform: %v", labels[:5])
+		}
+	}
+	for v := uint64(6); v < 10; v++ {
+		if labels[v] != labels[5] {
+			t.Fatalf("clique 2 not uniform: %v", labels[5:])
+		}
+	}
+}
+
+func TestLabelPropagationIsolated(t *testing.T) {
+	e := &EdgeList{N: 3, Edges: []Edge{{0, 1}, {1, 0}}}
+	labels := LabelPropagation(e, 10, 1)
+	if labels[2] != 2 {
+		t.Fatalf("isolated vertex label changed: %d", labels[2])
+	}
+}

@@ -1,0 +1,195 @@
+// Package graph provides the data structures shared by all generators:
+// edge lists (the native output of the communication-free generators),
+// compressed sparse row adjacency, and the statistics used to validate
+// generated instances against the theory of the underlying network models.
+package graph
+
+import (
+	"sort"
+)
+
+// Edge is a directed edge (U, V). Undirected generators emit each edge once
+// per endpoint (both orientations across the owning PEs), matching the
+// partitioned-output convention of the paper.
+type Edge struct {
+	U, V uint64
+}
+
+// EdgeList is a list of edges over vertices [0, N).
+type EdgeList struct {
+	N     uint64
+	Edges []Edge
+}
+
+// Len returns the number of (directed) edges.
+func (e *EdgeList) Len() int { return len(e.Edges) }
+
+// Sort orders edges lexicographically by (U, V).
+func (e *EdgeList) Sort() {
+	sort.Slice(e.Edges, func(i, j int) bool {
+		if e.Edges[i].U != e.Edges[j].U {
+			return e.Edges[i].U < e.Edges[j].U
+		}
+		return e.Edges[i].V < e.Edges[j].V
+	})
+}
+
+// Dedup sorts the list and removes exact duplicates in place.
+func (e *EdgeList) Dedup() {
+	if len(e.Edges) == 0 {
+		return
+	}
+	e.Sort()
+	out := e.Edges[:1]
+	for _, edge := range e.Edges[1:] {
+		if edge != out[len(out)-1] {
+			out = append(out, edge)
+		}
+	}
+	e.Edges = out
+}
+
+// UndirectedSet returns the set of undirected edges {min,max}, deduplicated
+// and sorted. Self-loops are preserved as (v,v).
+func (e *EdgeList) UndirectedSet() []Edge {
+	out := make([]Edge, 0, len(e.Edges))
+	for _, edge := range e.Edges {
+		u, v := edge.U, edge.V
+		if u > v {
+			u, v = v, u
+		}
+		out = append(out, Edge{u, v})
+	}
+	l := EdgeList{N: e.N, Edges: out}
+	l.Dedup()
+	return l.Edges
+}
+
+// Merge concatenates per-PE edge lists into one list over n vertices.
+func Merge(n uint64, parts ...[]Edge) *EdgeList {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	edges := make([]Edge, 0, total)
+	for _, p := range parts {
+		edges = append(edges, p...)
+	}
+	return &EdgeList{N: n, Edges: edges}
+}
+
+// CountSelfLoops returns the number of edges (v, v).
+func (e *EdgeList) CountSelfLoops() int {
+	c := 0
+	for _, edge := range e.Edges {
+		if edge.U == edge.V {
+			c++
+		}
+	}
+	return c
+}
+
+// CountDuplicates returns the number of exact duplicate directed edges.
+func (e *EdgeList) CountDuplicates() int {
+	seen := make(map[Edge]struct{}, len(e.Edges))
+	dup := 0
+	for _, edge := range e.Edges {
+		if _, ok := seen[edge]; ok {
+			dup++
+		} else {
+			seen[edge] = struct{}{}
+		}
+	}
+	return dup
+}
+
+// CSR is a compressed sparse row adjacency structure.
+type CSR struct {
+	N       uint64
+	Offsets []uint64 // length N+1
+	Targets []uint64 // length = number of directed edges
+}
+
+// BuildCSR constructs a CSR from an edge list (directed interpretation).
+func BuildCSR(e *EdgeList) *CSR {
+	n := e.N
+	offsets := make([]uint64, n+1)
+	for _, edge := range e.Edges {
+		offsets[edge.U+1]++
+	}
+	for i := uint64(1); i <= n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	targets := make([]uint64, len(e.Edges))
+	cursor := make([]uint64, n)
+	for _, edge := range e.Edges {
+		targets[offsets[edge.U]+cursor[edge.U]] = edge.V
+		cursor[edge.U]++
+	}
+	// Sort each adjacency list for reproducible iteration and fast lookup.
+	for v := uint64(0); v < n; v++ {
+		adj := targets[offsets[v]:offsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return &CSR{N: n, Offsets: offsets, Targets: targets}
+}
+
+// Degree returns the out-degree of v.
+func (c *CSR) Degree(v uint64) uint64 { return c.Offsets[v+1] - c.Offsets[v] }
+
+// Neighbors returns the sorted adjacency list of v (shared storage).
+func (c *CSR) Neighbors(v uint64) []uint64 {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (c *CSR) HasEdge(u, v uint64) bool {
+	adj := c.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// UnionFind is a weighted-union path-halving disjoint set forest.
+type UnionFind struct {
+	parent []uint64
+	size   []uint64
+	count  int
+}
+
+// NewUnionFind returns a forest of n singletons.
+func NewUnionFind(n uint64) *UnionFind {
+	parent := make([]uint64, n)
+	size := make([]uint64, n)
+	for i := range parent {
+		parent[i] = uint64(i)
+		size[i] = 1
+	}
+	return &UnionFind{parent: parent, size: size, count: int(n)}
+}
+
+// Find returns the representative of x.
+func (u *UnionFind) Find(x uint64) uint64 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning true if they were distinct.
+func (u *UnionFind) Union(a, b uint64) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.count--
+	return true
+}
+
+// Components returns the number of disjoint sets.
+func (u *UnionFind) Components() int { return u.count }

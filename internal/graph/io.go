@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeListText writes one "u v" pair per line preceded by a header
+// line "# n m".
+func WriteEdgeListText(w io.Writer, e *EdgeList) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", e.N, len(e.Edges)); err != nil {
+		return err
+	}
+	for _, edge := range e.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", edge.U, edge.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeListText parses the format written by WriteEdgeListText.
+func ReadEdgeListText(r io.Reader) (*EdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	e := &EdgeList{}
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if first {
+				fields := strings.Fields(line[1:])
+				if len(fields) >= 1 {
+					n, err := strconv.ParseUint(fields[0], 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("graph: bad header: %v", err)
+					}
+					e.N = n
+				}
+				first = false
+			}
+			continue
+		}
+		first = false
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		e.Edges = append(e.Edges, Edge{u, v})
+		if u >= e.N {
+			e.N = u + 1
+		}
+		if v >= e.N {
+			e.N = v + 1
+		}
+	}
+	return e, sc.Err()
+}
+
+// WriteEdgeListBinary writes a compact little-endian binary format:
+// n (u64), m (u64), then m pairs of u64.
+func WriteEdgeListBinary(w io.Writer, e *EdgeList) error {
+	bw := bufio.NewWriter(w)
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], e.N)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(e.Edges)))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, edge := range e.Edges {
+		binary.LittleEndian.PutUint64(buf[0:], edge.U)
+		binary.LittleEndian.PutUint64(buf[8:], edge.V)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeListBinary parses the format written by WriteEdgeListBinary.
+func ReadEdgeListBinary(r io.Reader) (*EdgeList, error) {
+	br := bufio.NewReader(r)
+	var buf [16]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, err
+	}
+	e := &EdgeList{N: binary.LittleEndian.Uint64(buf[0:])}
+	m := binary.LittleEndian.Uint64(buf[8:])
+	e.Edges = make([]Edge, 0, m)
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		e.Edges = append(e.Edges, Edge{
+			U: binary.LittleEndian.Uint64(buf[0:]),
+			V: binary.LittleEndian.Uint64(buf[8:]),
+		})
+	}
+	return e, nil
+}
+
+// WriteMetis writes the graph in METIS adjacency format (1-indexed,
+// undirected interpretation: the list must already contain both
+// orientations of every edge).
+func WriteMetis(w io.Writer, e *EdgeList) error {
+	csr := BuildCSR(e)
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", e.N, len(e.Edges)/2); err != nil {
+		return err
+	}
+	for v := uint64(0); v < e.N; v++ {
+		adj := csr.Neighbors(v)
+		for i, u := range adj {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(u+1, 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

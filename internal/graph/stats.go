@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes a generated instance for validation and reporting.
+type Stats struct {
+	N          uint64
+	M          int // directed edge count as stored
+	MinDegree  uint64
+	MaxDegree  uint64
+	AvgDegree  float64
+	SelfLoops  int
+	Components int
+}
+
+// ComputeStats builds summary statistics from an edge list. For undirected
+// graphs stored with both orientations, AvgDegree is the true average
+// degree (each incident edge counted once per endpoint).
+func ComputeStats(e *EdgeList) Stats {
+	degrees := OutDegrees(e)
+	var mn, mx, sum uint64
+	mn = math.MaxUint64
+	for _, d := range degrees {
+		if d < mn {
+			mn = d
+		}
+		if d > mx {
+			mx = d
+		}
+		sum += d
+	}
+	if e.N == 0 {
+		mn = 0
+	}
+	uf := NewUnionFind(e.N)
+	for _, edge := range e.Edges {
+		uf.Union(edge.U, edge.V)
+	}
+	avg := 0.0
+	if e.N > 0 {
+		avg = float64(sum) / float64(e.N)
+	}
+	return Stats{
+		N:          e.N,
+		M:          len(e.Edges),
+		MinDegree:  mn,
+		MaxDegree:  mx,
+		AvgDegree:  avg,
+		SelfLoops:  e.CountSelfLoops(),
+		Components: uf.Components(),
+	}
+}
+
+// OutDegrees returns the out-degree of every vertex.
+func OutDegrees(e *EdgeList) []uint64 {
+	degrees := make([]uint64, e.N)
+	for _, edge := range e.Edges {
+		degrees[edge.U]++
+	}
+	return degrees
+}
+
+// DegreeHistogram returns hist[d] = number of vertices with out-degree d.
+func DegreeHistogram(e *EdgeList) []uint64 {
+	degrees := OutDegrees(e)
+	var mx uint64
+	for _, d := range degrees {
+		if d > mx {
+			mx = d
+		}
+	}
+	hist := make([]uint64, mx+1)
+	for _, d := range degrees {
+		hist[d]++
+	}
+	return hist
+}
+
+// PowerLawExponentMLE estimates the exponent gamma of a power-law degree
+// distribution P(d) ~ d^-gamma using the discrete maximum likelihood
+// estimator of Clauset, Shalizi & Newman with a fixed cutoff dmin:
+// gamma = 1 + n / sum(ln(d_i / (dmin - 0.5))). Degrees below dmin are
+// ignored. Used to validate RHG (gamma = 2*alpha + 1) and BA (gamma ~ 3).
+func PowerLawExponentMLE(degrees []uint64, dmin uint64) float64 {
+	if dmin == 0 {
+		dmin = 1
+	}
+	var n float64
+	var logSum float64
+	for _, d := range degrees {
+		if d < dmin {
+			continue
+		}
+		n++
+		logSum += math.Log(float64(d) / (float64(dmin) - 0.5))
+	}
+	if logSum == 0 {
+		return math.NaN()
+	}
+	return 1 + n/logSum
+}
+
+// GlobalClusteringCoefficient computes 3*triangles/openTriads on the
+// undirected simple graph induced by the edge list. Intended for small
+// validation graphs (it enumerates wedges).
+func GlobalClusteringCoefficient(e *EdgeList) float64 {
+	// Build symmetric simple adjacency.
+	sym := &EdgeList{N: e.N}
+	for _, edge := range e.Edges {
+		if edge.U == edge.V {
+			continue
+		}
+		sym.Edges = append(sym.Edges, Edge{edge.U, edge.V}, Edge{edge.V, edge.U})
+	}
+	sym.Dedup()
+	csr := BuildCSR(sym)
+	var closed, total float64
+	for v := uint64(0); v < e.N; v++ {
+		adj := csr.Neighbors(v)
+		d := len(adj)
+		if d < 2 {
+			continue
+		}
+		total += float64(d*(d-1)) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if csr.HasEdge(adj[i], adj[j]) {
+					closed++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return closed / total
+}
+
+// DegreePercentile returns the q-th percentile (0..100) of vertex degrees.
+func DegreePercentile(degrees []uint64, q float64) uint64 {
+	if len(degrees) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), degrees...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}

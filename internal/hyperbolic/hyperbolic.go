@@ -1,0 +1,177 @@
+// Package hyperbolic provides the geometry kit of the random hyperbolic
+// graph generators (§7 and Appendix A/B of the paper): the native-disk
+// coordinate model, radial density sampling, angular deviation bounds, and
+// the trigonometric-function-free adjacency test of §7.2.1.
+//
+// A point has a polar coordinate theta in [0, 2*pi) and a radial
+// coordinate r in [0, R]; two points are adjacent iff their hyperbolic
+// distance (Eq. 4) is below the disk radius R.
+package hyperbolic
+
+import (
+	"math"
+
+	"repro/internal/prng"
+)
+
+// DiskRadius returns R = 2 ln n + C (Eq. 1) with C chosen so that the
+// expected average degree approaches avgDeg (Eq. 2):
+// avgDeg = (2/pi) * (alpha/(alpha-1/2))^2 * e^(-C/2).
+func DiskRadius(n uint64, avgDeg, alpha float64) float64 {
+	xi := alpha / (alpha - 0.5)
+	c := -2 * math.Log(avgDeg*math.Pi/(2*xi*xi))
+	return 2*math.Log(float64(n)) + c
+}
+
+// AlphaFromGamma converts a power-law exponent gamma = 2*alpha + 1 into
+// the dispersion parameter alpha (valid for gamma > 2).
+func AlphaFromGamma(gamma float64) float64 { return (gamma - 1) / 2 }
+
+// RadialCDFMass returns mu(B_r(0)) under density Eq. 3:
+// (cosh(alpha*r) - 1) / (cosh(alpha*R) - 1).
+func RadialCDFMass(alpha, bigR, r float64) float64 {
+	return (math.Cosh(alpha*r) - 1) / (math.Cosh(alpha*bigR) - 1)
+}
+
+// AnnulusMass returns the probability that a point lands in the annulus
+// [a, b) (the p_i of §7.1).
+func AnnulusMass(alpha, bigR, a, b float64) float64 {
+	return (math.Cosh(alpha*b) - math.Cosh(alpha*a)) / (math.Cosh(alpha*bigR) - 1)
+}
+
+// SampleRadius draws a radius from the density Eq. 3 restricted to [a, b]
+// by inverse-CDF sampling.
+func SampleRadius(r *prng.Random, alpha, a, b float64) float64 {
+	ca := math.Cosh(alpha * a)
+	cb := math.Cosh(alpha * b)
+	x := ca + r.Float64()*(cb-ca)
+	if x < 1 {
+		x = 1
+	}
+	return math.Acosh(x) / alpha
+}
+
+// Distance returns the hyperbolic distance of two points (Eq. 4).
+func Distance(r1, t1, r2, t2 float64) float64 {
+	arg := math.Cosh(r1)*math.Cosh(r2) - math.Sinh(r1)*math.Sinh(r2)*math.Cos(t1-t2)
+	if arg < 1 {
+		arg = 1
+	}
+	return math.Acosh(arg)
+}
+
+// DeltaTheta returns the maximum angular deviation (Eq. A.3) at which a
+// point with radius b can still be within hyperbolic distance bigR of a
+// point with radius r. Returns pi when the whole circle qualifies.
+func DeltaTheta(r, b, bigR float64) float64 {
+	if r+b < bigR {
+		return math.Pi
+	}
+	if r <= 0 || b <= 0 {
+		// One point at the origin: its distance to the other is exactly
+		// r+b >= bigR here, so it is not a neighbour.
+		return 0
+	}
+	arg := (math.Cosh(r)*math.Cosh(b) - math.Cosh(bigR)) / (math.Sinh(r) * math.Sinh(b))
+	if arg <= -1 {
+		return math.Pi
+	}
+	if arg >= 1 {
+		return 0
+	}
+	return math.Acos(arg)
+}
+
+// Point carries a vertex's coordinates together with the pre-computed
+// values of §7.2.1 that reduce each adjacency test to a handful of
+// multiplications (Eq. 9).
+type Point struct {
+	ID       uint64
+	Theta, R float64
+	CosT     float64 // cos(theta)
+	SinT     float64 // sin(theta)
+	CothR    float64 // coth(r)
+	InvSinhR float64 // 1 / sinh(r)
+}
+
+// minRadius guards the pre-computed reciprocals against r = 0 (a
+// zero-probability event under the radial density, but reachable through
+// u = 0 in the inverse CDF).
+const minRadius = 1e-12
+
+// MakePoint builds a Point with its pre-computed adjacency constants.
+func MakePoint(id uint64, theta, r float64) Point {
+	if r < minRadius {
+		r = minRadius
+	}
+	sinh := math.Sinh(r)
+	return Point{
+		ID:       id,
+		Theta:    theta,
+		R:        r,
+		CosT:     math.Cos(theta),
+		SinT:     math.Sin(theta),
+		CothR:    math.Cosh(r) / sinh,
+		InvSinhR: 1 / sinh,
+	}
+}
+
+// Geo bundles the per-instance constants of the adjacency test.
+type Geo struct {
+	R     float64 // disk radius
+	CoshR float64
+	Alpha float64
+}
+
+// NewGeo precomputes the instance constants.
+func NewGeo(bigR, alpha float64) Geo {
+	return Geo{R: bigR, CoshR: math.Cosh(bigR), Alpha: alpha}
+}
+
+// IsNeighbor evaluates Eq. 9: dist(p, q) < R without trigonometric or
+// hyperbolic function calls, using the precomputed per-point constants.
+func (g Geo) IsNeighbor(p, q Point) bool {
+	lhs := p.CosT*q.CosT + p.SinT*q.SinT // cos(theta_p - theta_q)
+	rhs := p.CothR*q.CothR - g.CoshR*p.InvSinhR*q.InvSinhR
+	return lhs > rhs
+}
+
+// DeltaThetaPre evaluates Eq. 8 for a query point p against an annulus
+// with precomputed lower-boundary constants cothB and coshRInvSinhB =
+// cosh(R)/sinh(b). Returns pi if the whole annulus qualifies.
+func (g Geo) DeltaThetaPre(p Point, cothB, coshRInvSinhB float64) float64 {
+	arg := p.CothR*cothB - coshRInvSinhB*p.InvSinhR
+	if arg <= -1 {
+		return math.Pi
+	}
+	if arg >= 1 {
+		return 0
+	}
+	return math.Acos(arg)
+}
+
+// Annuli returns the radial boundaries of the band structure of §7.1/§7.2
+// over [lo, R]: k = max(1, floor(alpha*(R-lo)/ln 2)) annuli of equal
+// height. The returned slice has k+1 boundaries; the first is lo and the
+// last is exactly R.
+func Annuli(alpha, lo, bigR float64) []float64 {
+	k := int(alpha * (bigR - lo) / math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]float64, k+1)
+	h := (bigR - lo) / float64(k)
+	for i := 0; i <= k; i++ {
+		bounds[i] = lo + float64(i)*h
+	}
+	bounds[k] = bigR
+	return bounds
+}
+
+// ExpectedDegree returns the asymptotic expected average degree for the
+// given parameters (inverse of DiskRadius).
+func ExpectedDegree(n uint64, bigR, alpha float64) float64 {
+	xi := alpha / (alpha - 0.5)
+	c := bigR - 2*math.Log(float64(n))
+	return 2 / math.Pi * xi * xi * math.Exp(-c/2)
+}

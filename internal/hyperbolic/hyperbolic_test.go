@@ -1,0 +1,231 @@
+package hyperbolic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestDiskRadiusInvertsExpectedDegree(t *testing.T) {
+	for _, c := range []struct {
+		n     uint64
+		deg   float64
+		alpha float64
+	}{
+		{1 << 16, 16, 0.75},
+		{1 << 20, 256, 1.0},
+		{1 << 14, 8, 0.6},
+	} {
+		bigR := DiskRadius(c.n, c.deg, c.alpha)
+		got := ExpectedDegree(c.n, bigR, c.alpha)
+		if math.Abs(got-c.deg)/c.deg > 1e-9 {
+			t.Errorf("n=%d deg=%v alpha=%v: roundtrip degree %v", c.n, c.deg, c.alpha, got)
+		}
+		if bigR <= 0 {
+			t.Errorf("R = %v not positive", bigR)
+		}
+	}
+}
+
+func TestAlphaFromGamma(t *testing.T) {
+	if a := AlphaFromGamma(3.0); a != 1.0 {
+		t.Errorf("gamma=3 -> alpha %v, want 1", a)
+	}
+	if a := AlphaFromGamma(2.2); math.Abs(a-0.6) > 1e-12 {
+		t.Errorf("gamma=2.2 -> alpha %v, want 0.6", a)
+	}
+}
+
+func TestRadialCDFMassMonotone(t *testing.T) {
+	const alpha, bigR = 0.8, 20.0
+	prev := 0.0
+	for r := 0.0; r <= bigR; r += 0.5 {
+		m := RadialCDFMass(alpha, bigR, r)
+		if m < prev-1e-15 {
+			t.Fatalf("CDF not monotone at r=%v", r)
+		}
+		prev = m
+	}
+	if math.Abs(RadialCDFMass(alpha, bigR, bigR)-1) > 1e-12 {
+		t.Error("CDF at R must be 1")
+	}
+	if RadialCDFMass(alpha, bigR, 0) != 0 {
+		t.Error("CDF at 0 must be 0")
+	}
+}
+
+func TestSampleRadiusRespectsBounds(t *testing.T) {
+	r := prng.NewFromRaw(3)
+	const alpha = 0.7
+	for i := 0; i < 20000; i++ {
+		x := SampleRadius(r, alpha, 5, 9)
+		if x < 5-1e-9 || x > 9+1e-9 {
+			t.Fatalf("radius %v outside [5,9]", x)
+		}
+	}
+}
+
+// TestSampleRadiusDistribution: empirical mass below the midpoint must
+// match the conditional CDF.
+func TestSampleRadiusDistribution(t *testing.T) {
+	r := prng.NewFromRaw(4)
+	const alpha = 0.9
+	const a, b = 3.0, 8.0
+	const mid = 6.0
+	const trials = 200000
+	below := 0
+	for i := 0; i < trials; i++ {
+		if SampleRadius(r, alpha, a, b) < mid {
+			below++
+		}
+	}
+	want := (math.Cosh(alpha*mid) - math.Cosh(alpha*a)) / (math.Cosh(alpha*b) - math.Cosh(alpha*a))
+	got := float64(below) / trials
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("P[r < mid] = %v, want %v", got, want)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry and identity.
+	f := func(r1Raw, t1Raw, r2Raw, t2Raw uint16) bool {
+		r1 := float64(r1Raw) / 65535 * 10
+		r2 := float64(r2Raw) / 65535 * 10
+		t1 := float64(t1Raw) / 65535 * 2 * math.Pi
+		t2 := float64(t2Raw) / 65535 * 2 * math.Pi
+		d12 := Distance(r1, t1, r2, t2)
+		d21 := Distance(r2, t2, r1, t1)
+		if math.Abs(d12-d21) > 1e-9 {
+			return false
+		}
+		// Eq. 4 suffers catastrophic cancellation near distance 0: the
+		// error of acosh(1+eps) is ~sqrt(2*eps) with eps ~ ulp(cosh^2 r).
+		return Distance(r1, t1, r1, t1) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Same angle: distance is |r1 - r2|.
+	if d := Distance(3, 1, 7, 1); math.Abs(d-4) > 1e-9 {
+		t.Errorf("colinear distance %v, want 4", d)
+	}
+	// Opposite angles: distance is r1 + r2 (on a geodesic through origin).
+	if d := Distance(3, 0, 4, math.Pi); math.Abs(d-7) > 1e-9 {
+		t.Errorf("antipodal distance %v, want 7", d)
+	}
+}
+
+// TestIsNeighborMatchesDistance: Eq. 9 must agree with the direct distance
+// comparison away from the decision boundary.
+func TestIsNeighborMatchesDistance(t *testing.T) {
+	const bigR = 15.0
+	g := NewGeo(bigR, 0.8)
+	r := prng.NewFromRaw(5)
+	agree, boundary := 0, 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		p := MakePoint(0, r.Float64()*2*math.Pi, r.Float64()*bigR)
+		q := MakePoint(1, r.Float64()*2*math.Pi, r.Float64()*bigR)
+		d := Distance(p.R, p.Theta, q.R, q.Theta)
+		if math.Abs(d-bigR) < 1e-9 {
+			boundary++
+			continue
+		}
+		if g.IsNeighbor(p, q) == (d < bigR) {
+			agree++
+		}
+	}
+	if agree+boundary != trials {
+		t.Errorf("Eq.9 disagrees with distance on %d of %d pairs", trials-agree-boundary, trials)
+	}
+}
+
+// TestDeltaThetaIsUpperBound: any point q in an annulus with lower bound b
+// that is a neighbor of p must satisfy |theta_p - theta_q| <= DeltaTheta.
+func TestDeltaThetaIsUpperBound(t *testing.T) {
+	const bigR = 12.0
+	g := NewGeo(bigR, 0.8)
+	r := prng.NewFromRaw(6)
+	for i := 0; i < 20000; i++ {
+		rp := 1 + r.Float64()*(bigR-1)
+		b := 1 + r.Float64()*(bigR-1)
+		rq := b + r.Float64()*(bigR-b) // q at or above the lower bound
+		dt := DeltaTheta(rp, b, bigR)
+		// Random angular separation; check the implication.
+		sep := r.Float64() * math.Pi
+		p := MakePoint(0, 0, rp)
+		q := MakePoint(1, sep, rq)
+		if g.IsNeighbor(p, q) && sep > dt+1e-9 {
+			t.Fatalf("neighbor at separation %v beyond bound %v (rp=%v b=%v rq=%v)", sep, dt, rp, b, rq)
+		}
+	}
+}
+
+// TestDeltaThetaPreMatches: the precomputed form (Eq. 8) equals the direct
+// form (Eq. A.3).
+func TestDeltaThetaPreMatches(t *testing.T) {
+	const bigR = 14.0
+	g := NewGeo(bigR, 0.9)
+	r := prng.NewFromRaw(7)
+	for i := 0; i < 10000; i++ {
+		rp := 0.5 + r.Float64()*(bigR-0.5)
+		b := 0.5 + r.Float64()*(bigR-0.5)
+		p := MakePoint(0, 1.0, rp)
+		direct := DeltaTheta(rp, b, bigR)
+		pre := g.DeltaThetaPre(p, math.Cosh(b)/math.Sinh(b), g.CoshR/math.Sinh(b))
+		if math.Abs(direct-pre) > 1e-7 {
+			t.Fatalf("rp=%v b=%v: direct %v != pre %v", rp, b, direct, pre)
+		}
+	}
+}
+
+func TestAnnuli(t *testing.T) {
+	bounds := Annuli(1.0, 7.0, 21.0)
+	if bounds[0] != 7 || bounds[len(bounds)-1] != 21 {
+		t.Fatalf("bounds %v must span [7, 21]", bounds)
+	}
+	k := len(bounds) - 1
+	wantK := int(math.Floor(14.0 / math.Ln2))
+	if k != wantK {
+		t.Errorf("k = %d, want %d", k, wantK)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatal("bounds not increasing")
+		}
+	}
+	// Tiny band still yields one annulus.
+	tiny := Annuli(0.6, 5, 5.1)
+	if len(tiny) != 2 {
+		t.Errorf("tiny band: %v", tiny)
+	}
+}
+
+func TestMakePointGuardsZeroRadius(t *testing.T) {
+	p := MakePoint(0, 1, 0)
+	if math.IsInf(p.CothR, 0) || math.IsNaN(p.CothR) {
+		t.Error("coth not guarded at r=0")
+	}
+	if math.IsInf(p.InvSinhR, 0) || math.IsNaN(p.InvSinhR) {
+		t.Error("1/sinh not guarded at r=0")
+	}
+}
+
+func BenchmarkIsNeighborPrecomputed(b *testing.B) {
+	g := NewGeo(15, 0.8)
+	p := MakePoint(0, 1.0, 7)
+	q := MakePoint(1, 1.5, 9)
+	for i := 0; i < b.N; i++ {
+		g.IsNeighbor(p, q)
+	}
+}
+
+func BenchmarkIsNeighborDirect(b *testing.B) {
+	p := MakePoint(0, 1.0, 7)
+	q := MakePoint(1, 1.5, 9)
+	for i := 0; i < b.N; i++ {
+		_ = Distance(p.R, p.Theta, q.R, q.Theta) < 15
+	}
+}

@@ -1,0 +1,73 @@
+package prng
+
+import "math/bits"
+
+// source is the minimal uniform interface the samplers need.
+type source interface {
+	Uint64() uint64
+	Float64() float64
+	Float64Open() float64
+}
+
+// Random is the variate source handed to the samplers. Its seed is derived
+// from structural identifiers with SpookyHash, which is what makes
+// recomputation across processing entities consistent: the same
+// identifiers always yield the same stream.
+type Random struct {
+	src source
+}
+
+// New derives a Random from a user seed and a list of structural
+// identifiers (generator tag, chunk id, recursion node id, ...). Every PE
+// that calls New with the same arguments obtains an identical stream.
+// Derived streams are short-lived by design, so they use the O(1)-setup
+// xoshiro256** generator seeded from the 128-bit SpookyHash.
+func New(seed uint64, ids ...uint64) *Random {
+	h1, h2 := HashWords128(seed, ids...)
+	return &Random{src: newXoshiro(h1, h2)}
+}
+
+// NewFromRaw wraps a raw 64-bit seed without hashing, backed by the
+// Mersenne Twister. Used by the sequential baseline algorithms and tests.
+func NewFromRaw(seed uint64) *Random {
+	return &Random{src: NewMT19937(seed)}
+}
+
+// NewMTHashed derives an MT19937-backed Random from structural ids, for
+// callers that want the paper's exact generator class on a long stream.
+func NewMTHashed(seed uint64, ids ...uint64) *Random {
+	h1, h2 := HashWords128(seed, ids...)
+	return &Random{src: NewMT19937Array([]uint64{h1, h2, seed})}
+}
+
+// Uint64 returns a uniform 64-bit value.
+func (r *Random) Uint64() uint64 { return r.src.Uint64() }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Random) Float64() float64 { return r.src.Float64() }
+
+// Float64Open returns a uniform value in (0, 1).
+func (r *Random) Float64Open() float64 { return r.src.Float64Open() }
+
+// UintN returns a uniform value in [0, n) without modulo bias using
+// Lemire's multiply-shift rejection method. n must be positive.
+func (r *Random) UintN(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: UintN with n == 0")
+	}
+	v := r.src.Uint64()
+	hi, lo := bits.Mul64(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = r.src.Uint64()
+			hi, lo = bits.Mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// UniformRange returns a uniform float64 in [lo, hi).
+func (r *Random) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}

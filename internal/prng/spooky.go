@@ -1,0 +1,362 @@
+// Package prng provides the pseudorandomization substrate of the
+// communication-free generators: a port of Bob Jenkins' SpookyHash V2 used
+// to derive seeds from structural identifiers (chunk ids, recursion-subtree
+// ids), and a port of the 64-bit Mersenne Twister used to draw the actual
+// variates. Both match the reference C implementations bit for bit.
+//
+// The central idea of the paper (Funke et al., "Communication-free
+// Massively Distributed Graph Generation") is that two processing entities
+// that need the same random decision derive the seed for that decision from
+// the same structural identifier and therefore obtain the same value
+// without communicating.
+package prng
+
+import "encoding/binary"
+
+// spookyConst is sc_const from SpookyHash V2: a primeless arbitrary value,
+// odd and not "flat" (no zero or all-one bytes).
+const spookyConst = 0xdeadbeefdeadbeef
+
+const (
+	spookyNumVars   = 12
+	spookyBlockSize = spookyNumVars * 8 // 96
+	spookyBufSize   = 2 * spookyBlockSize
+)
+
+func rot64(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// ShortHash128 computes the SpookyHash V2 short hash (used by the reference
+// implementation for messages under 192 bytes). seed1 and seed2 are the two
+// 64-bit seed words; the two returned words are the 128-bit hash.
+func ShortHash128(data []byte, seed1, seed2 uint64) (uint64, uint64) {
+	length := len(data)
+	remainder := length % 32
+	a := seed1
+	b := seed2
+	c := uint64(spookyConst)
+	d := uint64(spookyConst)
+
+	p := data
+	if length > 15 {
+		// Handle all complete sets of 32 bytes.
+		for len(p) >= 32 {
+			c += binary.LittleEndian.Uint64(p[0:])
+			d += binary.LittleEndian.Uint64(p[8:])
+			a, b, c, d = shortMix(a, b, c, d)
+			a += binary.LittleEndian.Uint64(p[16:])
+			b += binary.LittleEndian.Uint64(p[24:])
+			p = p[32:]
+		}
+		// Handle the case of 16+ remaining bytes.
+		if remainder >= 16 {
+			c += binary.LittleEndian.Uint64(p[0:])
+			d += binary.LittleEndian.Uint64(p[8:])
+			a, b, c, d = shortMix(a, b, c, d)
+			p = p[16:]
+			remainder -= 16
+		}
+	}
+
+	// Handle the last 0..15 bytes and their length.
+	d += uint64(length) << 56
+	switch remainder {
+	case 15:
+		d += uint64(p[14]) << 48
+		fallthrough
+	case 14:
+		d += uint64(p[13]) << 40
+		fallthrough
+	case 13:
+		d += uint64(p[12]) << 32
+		fallthrough
+	case 12:
+		d += uint64(binary.LittleEndian.Uint32(p[8:]))
+		c += binary.LittleEndian.Uint64(p[0:])
+	case 11:
+		d += uint64(p[10]) << 16
+		fallthrough
+	case 10:
+		d += uint64(p[9]) << 8
+		fallthrough
+	case 9:
+		d += uint64(p[8])
+		fallthrough
+	case 8:
+		c += binary.LittleEndian.Uint64(p[0:])
+	case 7:
+		c += uint64(p[6]) << 48
+		fallthrough
+	case 6:
+		c += uint64(p[5]) << 40
+		fallthrough
+	case 5:
+		c += uint64(p[4]) << 32
+		fallthrough
+	case 4:
+		c += uint64(binary.LittleEndian.Uint32(p[0:]))
+	case 3:
+		c += uint64(p[2]) << 16
+		fallthrough
+	case 2:
+		c += uint64(p[1]) << 8
+		fallthrough
+	case 1:
+		c += uint64(p[0])
+	case 0:
+		c += spookyConst
+		d += spookyConst
+	}
+	a, b, _, _ = shortEnd(a, b, c, d)
+	return a, b
+}
+
+// shortMix: the inner mix of the short hash. Reversible; every input bit
+// affects every output bit after three rounds.
+func shortMix(a, b, c, d uint64) (uint64, uint64, uint64, uint64) {
+	c = rot64(c, 50)
+	c += d
+	a ^= c
+	d = rot64(d, 52)
+	d += a
+	b ^= d
+	a = rot64(a, 30)
+	a += b
+	c ^= a
+	b = rot64(b, 41)
+	b += c
+	d ^= b
+	c = rot64(c, 54)
+	c += d
+	a ^= c
+	d = rot64(d, 48)
+	d += a
+	b ^= d
+	a = rot64(a, 38)
+	a += b
+	c ^= a
+	b = rot64(b, 37)
+	b += c
+	d ^= b
+	c = rot64(c, 62)
+	c += d
+	a ^= c
+	d = rot64(d, 34)
+	d += a
+	b ^= d
+	a = rot64(a, 5)
+	a += b
+	c ^= a
+	b = rot64(b, 36)
+	b += c
+	d ^= b
+	return a, b, c, d
+}
+
+// shortEnd: the final mix of the short hash.
+func shortEnd(a, b, c, d uint64) (uint64, uint64, uint64, uint64) {
+	d ^= c
+	c = rot64(c, 15)
+	d += c
+	a ^= d
+	d = rot64(d, 52)
+	a += d
+	b ^= a
+	a = rot64(a, 26)
+	b += a
+	c ^= b
+	b = rot64(b, 51)
+	c += b
+	d ^= c
+	c = rot64(c, 28)
+	d += c
+	a ^= d
+	d = rot64(d, 9)
+	a += d
+	b ^= a
+	a = rot64(a, 47)
+	b += a
+	c ^= b
+	b = rot64(b, 54)
+	c += b
+	d ^= c
+	c = rot64(c, 32)
+	d += c
+	a ^= d
+	d = rot64(d, 25)
+	a += d
+	b ^= a
+	a = rot64(a, 63)
+	b += a
+	return a, b, c, d
+}
+
+// Hash128 computes the 128-bit SpookyHash V2 of data. Messages under 192
+// bytes go through the short hash exactly like the reference implementation.
+func Hash128(data []byte, seed1, seed2 uint64) (uint64, uint64) {
+	if len(data) < spookyBufSize {
+		return ShortHash128(data, seed1, seed2)
+	}
+
+	var h [spookyNumVars]uint64
+	h[0], h[3], h[6], h[9] = seed1, seed1, seed1, seed1
+	h[1], h[4], h[7], h[10] = seed2, seed2, seed2, seed2
+	h[2], h[5], h[8], h[11] = spookyConst, spookyConst, spookyConst, spookyConst
+
+	p := data
+	var block [spookyNumVars]uint64
+	for len(p) >= spookyBlockSize {
+		for i := range block {
+			block[i] = binary.LittleEndian.Uint64(p[8*i:])
+		}
+		mix(&block, &h)
+		p = p[spookyBlockSize:]
+	}
+
+	// Handle the last partial block of spookyBlockSize bytes.
+	remainder := len(p)
+	var buf [spookyBlockSize]byte
+	copy(buf[:], p)
+	buf[spookyBlockSize-1] = byte(remainder)
+	for i := range block {
+		block[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	end(&block, &h)
+	return h[0], h[1]
+}
+
+// Hash64 returns the first 64 bits of Hash128.
+func Hash64(data []byte, seed uint64) uint64 {
+	h1, _ := Hash128(data, seed, seed)
+	return h1
+}
+
+func mix(data *[spookyNumVars]uint64, s *[spookyNumVars]uint64) {
+	s[0] += data[0]
+	s[2] ^= s[10]
+	s[11] ^= s[0]
+	s[0] = rot64(s[0], 11)
+	s[11] += s[1]
+	s[1] += data[1]
+	s[3] ^= s[11]
+	s[0] ^= s[1]
+	s[1] = rot64(s[1], 32)
+	s[0] += s[2]
+	s[2] += data[2]
+	s[4] ^= s[0]
+	s[1] ^= s[2]
+	s[2] = rot64(s[2], 43)
+	s[1] += s[3]
+	s[3] += data[3]
+	s[5] ^= s[1]
+	s[2] ^= s[3]
+	s[3] = rot64(s[3], 31)
+	s[2] += s[4]
+	s[4] += data[4]
+	s[6] ^= s[2]
+	s[3] ^= s[4]
+	s[4] = rot64(s[4], 17)
+	s[3] += s[5]
+	s[5] += data[5]
+	s[7] ^= s[3]
+	s[4] ^= s[5]
+	s[5] = rot64(s[5], 28)
+	s[4] += s[6]
+	s[6] += data[6]
+	s[8] ^= s[4]
+	s[5] ^= s[6]
+	s[6] = rot64(s[6], 39)
+	s[5] += s[7]
+	s[7] += data[7]
+	s[9] ^= s[5]
+	s[6] ^= s[7]
+	s[7] = rot64(s[7], 57)
+	s[6] += s[8]
+	s[8] += data[8]
+	s[10] ^= s[6]
+	s[7] ^= s[8]
+	s[8] = rot64(s[8], 55)
+	s[7] += s[9]
+	s[9] += data[9]
+	s[11] ^= s[7]
+	s[8] ^= s[9]
+	s[9] = rot64(s[9], 54)
+	s[8] += s[10]
+	s[10] += data[10]
+	s[0] ^= s[8]
+	s[9] ^= s[10]
+	s[10] = rot64(s[10], 22)
+	s[9] += s[11]
+	s[11] += data[11]
+	s[1] ^= s[9]
+	s[10] ^= s[11]
+	s[11] = rot64(s[11], 46)
+	s[10] += s[0]
+}
+
+func endPartial(h *[spookyNumVars]uint64) {
+	h[11] += h[1]
+	h[2] ^= h[11]
+	h[1] = rot64(h[1], 44)
+	h[0] += h[2]
+	h[3] ^= h[0]
+	h[2] = rot64(h[2], 15)
+	h[1] += h[3]
+	h[4] ^= h[1]
+	h[3] = rot64(h[3], 34)
+	h[2] += h[4]
+	h[5] ^= h[2]
+	h[4] = rot64(h[4], 21)
+	h[3] += h[5]
+	h[6] ^= h[3]
+	h[5] = rot64(h[5], 38)
+	h[4] += h[6]
+	h[7] ^= h[4]
+	h[6] = rot64(h[6], 33)
+	h[5] += h[7]
+	h[8] ^= h[5]
+	h[7] = rot64(h[7], 10)
+	h[6] += h[8]
+	h[9] ^= h[6]
+	h[8] = rot64(h[8], 13)
+	h[7] += h[9]
+	h[10] ^= h[7]
+	h[9] = rot64(h[9], 38)
+	h[8] += h[10]
+	h[11] ^= h[8]
+	h[10] = rot64(h[10], 53)
+	h[9] += h[11]
+	h[0] ^= h[9]
+	h[11] = rot64(h[11], 42)
+	h[10] += h[0]
+	h[1] ^= h[10]
+	h[0] = rot64(h[0], 54)
+}
+
+func end(data *[spookyNumVars]uint64, h *[spookyNumVars]uint64) {
+	for i := range data {
+		h[i] += data[i]
+	}
+	endPartial(h)
+	endPartial(h)
+	endPartial(h)
+}
+
+// HashWords64 hashes a sequence of 64-bit words. It is the primary seed
+// derivation entry point: callers pass structural identifiers (user seed,
+// generator tag, chunk id, recursion node id) and obtain a stream seed.
+func HashWords64(seed uint64, words ...uint64) uint64 {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return Hash64(buf, seed)
+}
+
+// HashWords128 is HashWords64 returning the full 128-bit hash.
+func HashWords128(seed uint64, words ...uint64) (uint64, uint64) {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return Hash128(buf, seed, seed)
+}

@@ -1,0 +1,341 @@
+// Package rdg implements the communication-free random Delaunay graph
+// generator of the paper (§6) for two and three dimensions with periodic
+// (torus) boundary conditions.
+//
+// Points are placed exactly like the RGG generator but with cell side
+// target ((d+1)/n)^(1/d), the mean distance of the (d+1)-th nearest
+// neighbour. Each PE triangulates its chunk plus a halo of neighbouring
+// cells (regenerated from their seeds, wrapping around the torus with
+// coordinate offsets in {-1,0,1}) and grows the halo until the
+// circumsphere of every simplex incident to an interior point lies inside
+// the generated region — the convergence criterion of §6.
+package rdg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/delaunay"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/pe"
+	"repro/internal/rgg"
+)
+
+// Params configures a random Delaunay graph.
+type Params struct {
+	N    uint64 // number of vertices
+	Dim  int    // 2 or 3
+	Seed uint64
+	// Chunks is the number of logical PEs (chunk grid as in the RGG
+	// generator). 0 means 1.
+	Chunks uint64
+}
+
+func (p Params) chunks() uint64 {
+	if p.Chunks == 0 {
+		return 1
+	}
+	return p.Chunks
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N < uint64(p.Dim)+2 {
+		return fmt.Errorf("rdg: need at least dim+2 points")
+	}
+	if p.Dim != 2 && p.Dim != 3 {
+		return fmt.Errorf("rdg: dim must be 2 or 3, got %d", p.Dim)
+	}
+	return nil
+}
+
+func (p Params) grid() *rgg.Grid {
+	return rgg.NewGrid(p.N, p.Dim, rgg.RDGTarget(p.N, p.Dim), p.chunks(),
+		p.Seed, core.TagRDGCell+1, core.TagRDGCell+2, core.TagRDGCell+3)
+}
+
+// Generate produces the full graph; undirected edges appear once per
+// endpoint across the merged PE outputs.
+func Generate(p Params, workers int) (*graph.EdgeList, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	results := pe.ForEach(int(p.chunks()), workers, func(c int) core.Result {
+		return GenerateChunk(p, uint64(c))
+	})
+	return core.MergeResults(p.N, results), nil
+}
+
+// GenerateChunk runs one logical PE: for each of its chunks it computes
+// the Delaunay triangulation of the chunk plus an adaptively grown halo
+// and emits the triangulation edges incident to chunk-owned points.
+func GenerateChunk(p Params, peID uint64) core.Result {
+	g := p.grid()
+	acc := rgg.NewCellAccess(g)
+	res := core.Result{PE: int(peID)}
+	lo, hi := g.ChunkRange(peID)
+	for chunk := lo; chunk < hi; chunk++ {
+		triangulateChunk(p, g, acc, chunk, &res)
+	}
+	return res
+}
+
+// wrappedCell materializes the cell at (possibly out-of-range) global cell
+// coordinates by wrapping around the torus; the returned points carry the
+// original IDs but shifted positions.
+func wrappedCell(g *rgg.Grid, acc *rgg.CellAccess, coord [3]int64, dim int) []geometry.Point {
+	var cc [3]uint32
+	var shift [3]float64
+	gd := int64(g.GlobalDim)
+	for i := 0; i < dim; i++ {
+		c := coord[i]
+		switch {
+		case c < 0:
+			c += gd
+			shift[i] = -1
+		case c >= gd:
+			c -= gd
+			shift[i] = 1
+		}
+		cc[i] = uint32(c)
+	}
+	base := acc.Cell(cc)
+	if shift == [3]float64{} {
+		return base
+	}
+	out := make([]geometry.Point, len(base))
+	for i, pt := range base {
+		for d := 0; d < dim; d++ {
+			pt.X[d] += shift[d]
+		}
+		out[i] = pt
+	}
+	return out
+}
+
+func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, res *core.Result) {
+	dim := p.Dim
+	// Chunk cell bounding box in global cell coordinates.
+	first := g.ChunkCellCoord(chunk, 0)
+	var cellLo, cellHi [3]int64 // inclusive box of the chunk's cells
+	for i := 0; i < dim; i++ {
+		cellLo[i] = int64(first[i])
+		cellHi[i] = int64(first[i]) + int64(g.CellsPerDim) - 1
+	}
+
+	added := make(map[[3]int64]bool) // cells already inserted
+
+	var t2 *delaunay.T2
+	var t3 *delaunay.T3
+	if dim == 2 {
+		t2 = delaunay.NewT2(int(acc.ChunkTotal(chunk)) * 4)
+	} else {
+		t3 = delaunay.NewT3(int(acc.ChunkTotal(chunk)) * 8)
+	}
+	// idOf maps triangulation indices to original point IDs; isInt marks
+	// the chunk-owned instances (a wrapped periodic copy of an interior
+	// point is NOT interior — only the original position is).
+	var idOf []uint64
+	var isInt []bool
+	superCount := 3
+	if dim == 3 {
+		superCount = 4
+	}
+	for i := 0; i < superCount; i++ {
+		idOf = append(idOf, ^uint64(0))
+		isInt = append(isInt, false)
+	}
+
+	insertBox := func(blo, bhi [3]int64, isInterior func([3]int64) bool) {
+		var it func(d int, c [3]int64)
+		it = func(d int, c [3]int64) {
+			if d == dim {
+				if added[c] {
+					return
+				}
+				added[c] = true
+				pts := wrappedCell(g, acc, c, dim)
+				inCore := isInterior(c)
+				if !inCore {
+					res.RedundantVertices += uint64(len(pts))
+				}
+				for _, pt := range pts {
+					if dim == 2 {
+						t2.Insert([2]float64{pt.X[0], pt.X[1]})
+					} else {
+						t3.Insert(pt.X)
+					}
+					idOf = append(idOf, pt.ID)
+					isInt = append(isInt, inCore)
+				}
+				return
+			}
+			for v := blo[d]; v <= bhi[d]; v++ {
+				c[d] = v
+				it(d+1, c)
+			}
+		}
+		it(0, [3]int64{})
+	}
+
+	inChunk := func(c [3]int64) bool {
+		for i := 0; i < dim; i++ {
+			if c[i] < cellLo[i] || c[i] > cellHi[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Start with the chunk plus one halo layer.
+	halo := int64(1)
+	var blo, bhi [3]int64
+	for i := 0; i < dim; i++ {
+		blo[i] = cellLo[i] - halo
+		bhi[i] = cellHi[i] + halo
+	}
+	insertBox(blo, bhi, inChunk)
+
+	// Maximum halo: one full wrap in every direction (offsets stay within
+	// {-1, 0, 1}).
+	maxHalo := int64(g.GlobalDim)
+
+	for {
+		// Convergence: every simplex with an interior vertex must have its
+		// circumsphere inside the generated box.
+		boxLo := make([]float64, dim)
+		boxHi := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			boxLo[i] = float64(blo[i]) * g.CellSide
+			boxHi[i] = float64(bhi[i]+1) * g.CellSide
+		}
+		ok := true
+		contains2 := func(cx, cy, r2 float64) bool {
+			r := sqrt(r2)
+			return cx-r >= boxLo[0] && cx+r <= boxHi[0] && cy-r >= boxLo[1] && cy+r <= boxHi[1]
+		}
+		isInterior := func(v int32) bool {
+			return isInt[v]
+		}
+		if dim == 2 {
+			// A triangle incident to an interior point must neither touch
+			// the artificial bounding triangle (the paper's convex-hull
+			// condition) nor have a circumcircle leaving the generated box.
+			for ti := range t2.Tris {
+				if !ok {
+					break
+				}
+				if t2.Dead(ti) {
+					continue
+				}
+				v := t2.Tris[ti].V
+				if !isInterior(v[0]) && !isInterior(v[1]) && !isInterior(v[2]) {
+					continue
+				}
+				if isSuperIdx(2, v[0]) || isSuperIdx(2, v[1]) || isSuperIdx(2, v[2]) {
+					ok = false
+					break
+				}
+				cx, cy, r2 := t2.Circumcircle(v[0], v[1], v[2])
+				if !contains2(cx, cy, r2) {
+					ok = false
+				}
+			}
+		} else {
+			for ti := range t3.Tets {
+				if !ok {
+					break
+				}
+				if t3.Dead(ti) {
+					continue
+				}
+				v := t3.Tets[ti].V
+				if !isInterior(v[0]) && !isInterior(v[1]) && !isInterior(v[2]) && !isInterior(v[3]) {
+					continue
+				}
+				if isSuperIdx(3, v[0]) || isSuperIdx(3, v[1]) || isSuperIdx(3, v[2]) || isSuperIdx(3, v[3]) {
+					ok = false
+					break
+				}
+				c, r2 := t3.Circumsphere(v)
+				r := sqrt(r2)
+				for i := 0; i < dim; i++ {
+					if c[i]-r < boxLo[i] || c[i]+r > boxHi[i] {
+						ok = false
+						break
+					}
+				}
+			}
+		}
+		if ok || halo >= maxHalo {
+			break
+		}
+		// Expand by one layer and insert the new ring of cells.
+		halo++
+		res.Comparisons++ // counts halo expansions for diagnostics
+		var nlo, nhi [3]int64
+		for i := 0; i < dim; i++ {
+			nlo[i] = cellLo[i] - halo
+			nhi[i] = cellHi[i] + halo
+		}
+		insertBox(nlo, nhi, inChunk) // added-map skips existing cells
+		blo, bhi = nlo, nhi
+	}
+
+	// Emit edges incident to interior points (deduplicated per original
+	// pair; periodic copies of the same pair collapse). Only edges of
+	// fully real simplices count — simplices touching the artificial
+	// bounding vertices are never part of the converged region.
+	type pair struct{ u, v uint64 }
+	seen := make(map[pair]bool)
+	emit := func(a, b int32) {
+		u, v := idOf[a], idOf[b]
+		if u == v {
+			return // an edge between a point and its own periodic copy
+		}
+		if isInt[a] && !seen[pair{u, v}] {
+			seen[pair{u, v}] = true
+			res.Edges = append(res.Edges, graph.Edge{U: u, V: v})
+		}
+		if isInt[b] && !seen[pair{v, u}] {
+			seen[pair{v, u}] = true
+			res.Edges = append(res.Edges, graph.Edge{U: v, V: u})
+		}
+	}
+	if dim == 2 {
+		t2.Triangles(func(v0, v1, v2 int32) {
+			emit(v0, v1)
+			emit(v1, v2)
+			emit(v0, v2)
+		})
+	} else {
+		t3.Tetrahedra(func(v [4]int32) {
+			for i := 0; i < 4; i++ {
+				for j := i + 1; j < 4; j++ {
+					emit(v[i], v[j])
+				}
+			}
+		})
+	}
+}
+
+func isSuperIdx(dim int, v int32) bool {
+	if dim == 2 {
+		return v < 3
+	}
+	return v < 4
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Points returns all generated vertex positions in ID order.
+func Points(p Params) []geometry.Point {
+	return p.grid().AllPoints()
+}

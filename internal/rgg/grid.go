@@ -1,0 +1,257 @@
+package rgg
+
+import (
+	"math"
+
+	"repro/internal/geometry"
+	"repro/internal/prng"
+	"repro/internal/sampling"
+)
+
+// Grid is the communication-free point-placement machinery shared by the
+// spatial generators (RGG §5 and RDG §6): a power-of-two grid of chunks
+// assigned along a Morton curve, each subdivided into equal cells, with
+// vertex counts distributed by recursive binomial splitting and point
+// coordinates drawn from per-cell hash-seeded streams. Any PE can
+// recompute any cell of any chunk bit-identically.
+type Grid struct {
+	N      uint64
+	Dim    int
+	Seed   uint64
+	Chunks uint64 // logical PEs
+
+	ChunkGridDim uint64  // chunks per dimension (power of two)
+	NumChunks    uint64  // ChunkGridDim^Dim
+	ChunkSide    float64 // 1 / ChunkGridDim
+	CellsPerDim  uint64  // cells per chunk per dimension
+	CellSide     float64
+	GlobalDim    uint64 // ChunkGridDim * CellsPerDim
+
+	tagCounts, tagCells, tagPoints uint64
+}
+
+// NewGrid derives the grid for n points in [0,1)^dim with a target cell
+// side length, `chunks` logical PEs and a tag triple namespacing the
+// random streams (so RGG and RDG point sets are independent).
+func NewGrid(n uint64, dim int, target float64, chunks uint64, seed, tagCounts, tagCells, tagPoints uint64) *Grid {
+	g := &Grid{N: n, Dim: dim, Seed: seed, Chunks: chunks,
+		tagCounts: tagCounts, tagCells: tagCells, tagPoints: tagPoints}
+	pow := func(base uint64) uint64 {
+		t := base * base
+		if dim == 3 {
+			t *= base
+		}
+		return t
+	}
+	g.ChunkGridDim = 1
+	for pow(g.ChunkGridDim) < chunks {
+		g.ChunkGridDim *= 2
+	}
+	g.NumChunks = pow(g.ChunkGridDim)
+	g.ChunkSide = 1 / float64(g.ChunkGridDim)
+
+	g.CellsPerDim = uint64(g.ChunkSide / target)
+	if g.CellsPerDim < 1 {
+		g.CellsPerDim = 1
+	}
+	g.CellSide = g.ChunkSide / float64(g.CellsPerDim)
+	g.GlobalDim = g.ChunkGridDim * g.CellsPerDim
+	return g
+}
+
+// CellsPerChunk returns the number of cells of one chunk.
+func (g *Grid) CellsPerChunk() uint64 {
+	c := g.CellsPerDim * g.CellsPerDim
+	if g.Dim == 3 {
+		c *= g.CellsPerDim
+	}
+	return c
+}
+
+// ChunkRange returns the Morton chunk range [lo, hi) owned by a PE.
+func (g *Grid) ChunkRange(pe uint64) (uint64, uint64) {
+	return pe * g.NumChunks / g.Chunks, (pe + 1) * g.NumChunks / g.Chunks
+}
+
+// ChunkCounts returns the vertex counts of all chunks.
+func (g *Grid) ChunkCounts() []uint64 {
+	return sampling.RecursiveSplitEqual(g.Seed^g.tagCounts, g.N, g.NumChunks, 0, g.NumChunks)
+}
+
+// CellCounts splits a chunk's vertex count over its cells (row-major
+// in-chunk order).
+func (g *Grid) CellCounts(chunkMorton, count uint64) []uint64 {
+	seed := prng.HashWords64(g.Seed, g.tagCells, chunkMorton)
+	return sampling.RecursiveSplitEqual(seed, count, g.CellsPerChunk(), 0, g.CellsPerChunk())
+}
+
+// ChunkCellCoord converts a chunk Morton index and a row-major in-chunk
+// cell index into global cell coordinates.
+func (g *Grid) ChunkCellCoord(chunkMorton, cellIdx uint64) [3]uint32 {
+	cc := geometry.MortonDecode(g.Dim, chunkMorton)
+	var local [3]uint32
+	if g.Dim == 3 {
+		local[2] = uint32(cellIdx % g.CellsPerDim)
+		cellIdx /= g.CellsPerDim
+	}
+	local[1] = uint32(cellIdx % g.CellsPerDim)
+	local[0] = uint32(cellIdx / g.CellsPerDim)
+	var out [3]uint32
+	for i := 0; i < g.Dim; i++ {
+		out[i] = cc[i]*uint32(g.CellsPerDim) + local[i]
+	}
+	return out
+}
+
+// GlobalCellIndex flattens global cell coordinates row-major.
+func (g *Grid) GlobalCellIndex(c [3]uint32) uint64 {
+	idx := uint64(c[0])
+	idx = idx*g.GlobalDim + uint64(c[1])
+	if g.Dim == 3 {
+		idx = idx*g.GlobalDim + uint64(c[2])
+	}
+	return idx
+}
+
+// CellOrigin returns the lower corner of a cell.
+func (g *Grid) CellOrigin(c [3]uint32) [3]float64 {
+	var o [3]float64
+	for i := 0; i < g.Dim; i++ {
+		o[i] = float64(c[i]) * g.CellSide
+	}
+	return o
+}
+
+// OwnerChunkOfCell returns the Morton index of the chunk containing a
+// global cell.
+func (g *Grid) OwnerChunkOfCell(c [3]uint32) uint64 {
+	var cc [3]uint32
+	for i := 0; i < g.Dim; i++ {
+		cc[i] = c[i] / uint32(g.CellsPerDim)
+	}
+	return geometry.MortonEncode(g.Dim, cc)
+}
+
+// InChunkCellIndex returns the row-major in-chunk index of a global cell.
+func (g *Grid) InChunkCellIndex(c [3]uint32) uint64 {
+	var local [3]uint64
+	for i := 0; i < g.Dim; i++ {
+		local[i] = uint64(c[i] % uint32(g.CellsPerDim))
+	}
+	idx := local[0]*g.CellsPerDim + local[1]
+	if g.Dim == 3 {
+		idx = idx*g.CellsPerDim + local[2]
+	}
+	return idx
+}
+
+// CellPoints generates the points of one cell from its hash-seeded stream.
+func (g *Grid) CellPoints(cellIdx uint64, origin [3]float64, count, idBase uint64) []geometry.Point {
+	r := prng.New(g.Seed, g.tagPoints, cellIdx)
+	pts := make([]geometry.Point, count)
+	for i := range pts {
+		var x [3]float64
+		for d := 0; d < g.Dim; d++ {
+			x[d] = origin[d] + r.Float64()*g.CellSide
+		}
+		pts[i] = geometry.Point{X: x, ID: idBase + uint64(i)}
+	}
+	return pts
+}
+
+// AllPoints returns every point in ID order (chunk Morton order, then
+// in-chunk cell order). Used by reference checks.
+func (g *Grid) AllPoints() []geometry.Point {
+	chunkTotals := g.ChunkCounts()
+	var pts []geometry.Point
+	var idBase uint64
+	for chunk := uint64(0); chunk < g.NumChunks; chunk++ {
+		split := g.CellCounts(chunk, chunkTotals[chunk])
+		for ci, count := range split {
+			cc := g.ChunkCellCoord(chunk, uint64(ci))
+			idx := g.GlobalCellIndex(cc)
+			pts = append(pts, g.CellPoints(idx, g.CellOrigin(cc), count, idBase)...)
+			idBase += count
+		}
+	}
+	return pts
+}
+
+// CellAccess provides memoized cell materialization with globally
+// consistent IDs, shared by the per-PE generation loops.
+type CellAccess struct {
+	g           *Grid
+	chunkTotals []uint64
+	idPrefix    []uint64
+	splitCache  map[uint64][]uint64
+	prefixCache map[uint64][]uint64
+	cellCache   map[uint64][]geometry.Point
+}
+
+// NewCellAccess prepares the ID prefix sums (O(NumChunks)).
+func NewCellAccess(g *Grid) *CellAccess {
+	a := &CellAccess{
+		g:           g,
+		chunkTotals: g.ChunkCounts(),
+		splitCache:  map[uint64][]uint64{},
+		prefixCache: map[uint64][]uint64{},
+		cellCache:   map[uint64][]geometry.Point{},
+	}
+	a.idPrefix = make([]uint64, g.NumChunks+1)
+	for i := uint64(0); i < g.NumChunks; i++ {
+		a.idPrefix[i+1] = a.idPrefix[i] + a.chunkTotals[i]
+	}
+	return a
+}
+
+// ChunkTotal returns the vertex count of a chunk.
+func (a *CellAccess) ChunkTotal(chunk uint64) uint64 { return a.chunkTotals[chunk] }
+
+func (a *CellAccess) split(chunk uint64) []uint64 {
+	if s, ok := a.splitCache[chunk]; ok {
+		return s
+	}
+	s := a.g.CellCounts(chunk, a.chunkTotals[chunk])
+	a.splitCache[chunk] = s
+	return s
+}
+
+func (a *CellAccess) prefix(chunk uint64) []uint64 {
+	if s, ok := a.prefixCache[chunk]; ok {
+		return s
+	}
+	split := a.split(chunk)
+	pre := make([]uint64, len(split)+1)
+	for i, c := range split {
+		pre[i+1] = pre[i] + c
+	}
+	a.prefixCache[chunk] = pre
+	return pre
+}
+
+// Cell returns the memoized points of a global cell coordinate.
+func (a *CellAccess) Cell(c [3]uint32) []geometry.Point {
+	idx := a.g.GlobalCellIndex(c)
+	if pts, ok := a.cellCache[idx]; ok {
+		return pts
+	}
+	chunk := a.g.OwnerChunkOfCell(c)
+	inIdx := a.g.InChunkCellIndex(c)
+	count := a.split(chunk)[inIdx]
+	idBase := a.idPrefix[chunk] + a.prefix(chunk)[inIdx]
+	pts := a.g.CellPoints(idx, a.g.CellOrigin(c), count, idBase)
+	a.cellCache[idx] = pts
+	return pts
+}
+
+// RGGTarget is the cell-side target of the RGG generator (§5):
+// max(r, n^(-1/d)).
+func RGGTarget(n uint64, dim int, r float64) float64 {
+	return math.Max(r, math.Pow(float64(n), -1/float64(dim)))
+}
+
+// RDGTarget is the cell-side target of the RDG generator (§6): the mean
+// distance of the (d+1)-th nearest neighbour, ((d+1)/n)^(1/d).
+func RDGTarget(n uint64, dim int) float64 {
+	return math.Pow(float64(dim+1)/float64(n), 1/float64(dim))
+}

@@ -1,0 +1,158 @@
+// Package rgg implements the communication-free random geometric graph
+// generator of the paper (§5) for two and three dimensions.
+//
+// The unit cube is divided into a power-of-two grid of chunks assigned to
+// logical PEs along a Morton (Z-order) curve. Each chunk is subdivided
+// into cells of side length at least max(r, n^(-1/d)). Vertex counts are
+// distributed over chunks and cells by recursive binomial splitting seeded
+// with structural identifiers, and point coordinates are drawn from
+// per-cell streams — so a PE can regenerate any border ("ghost") cell of a
+// neighbouring chunk bit-identically without communication.
+package rgg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/pe"
+)
+
+// Params configures a random geometric graph.
+type Params struct {
+	N    uint64  // number of vertices
+	R    float64 // connection radius
+	Dim  int     // 2 or 3
+	Seed uint64
+	// Chunks is the number of logical PEs. The chunk grid is the smallest
+	// power-of-two grid with at least Chunks cells; chunks are distributed
+	// to PEs in Morton order. 0 means 1.
+	Chunks uint64
+}
+
+func (p Params) chunks() uint64 {
+	if p.Chunks == 0 {
+		return 1
+	}
+	return p.Chunks
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N == 0 {
+		return fmt.Errorf("rgg: n must be positive")
+	}
+	if p.Dim != 2 && p.Dim != 3 {
+		return fmt.Errorf("rgg: dim must be 2 or 3, got %d", p.Dim)
+	}
+	if p.R <= 0 || p.R > 1 {
+		return fmt.Errorf("rgg: radius %v outside (0,1]", p.R)
+	}
+	return nil
+}
+
+func (p Params) grid() *Grid {
+	return NewGrid(p.N, p.Dim, RGGTarget(p.N, p.Dim, p.R), p.chunks(),
+		p.Seed, core.TagRGGCounts, core.TagRGGCell, core.TagRGGPoints)
+}
+
+// Generate produces the full graph. Undirected edges appear once per
+// endpoint in the merged list.
+func Generate(p Params, workers int) (*graph.EdgeList, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	results := pe.ForEach(int(p.chunks()), workers, func(c int) core.Result {
+		return GenerateChunk(p, uint64(c))
+	})
+	return core.MergeResults(p.N, results), nil
+}
+
+// GenerateChunk runs one logical PE: it generates the vertices of its
+// chunks plus the ghost cells of neighbouring chunks and emits all edges
+// incident to its local vertices.
+func GenerateChunk(p Params, peID uint64) core.Result {
+	g := p.grid()
+	acc := NewCellAccess(g)
+	res := core.Result{PE: int(peID)}
+	lo, hi := g.ChunkRange(peID)
+
+	layers := int64(math.Ceil(p.R / g.CellSide))
+	if layers < 1 {
+		layers = 1
+	}
+	r2 := p.R * p.R
+	counted := make(map[uint64]bool) // ghost chunks already counted
+
+	for chunk := lo; chunk < hi; chunk++ {
+		cellsInChunk := g.CellsPerChunk()
+		for ci := uint64(0); ci < cellsInChunk; ci++ {
+			cc := g.ChunkCellCoord(chunk, ci)
+			own := acc.Cell(cc)
+			if len(own) == 0 {
+				continue
+			}
+			var off [3]int64
+			visit := func() {
+				var nc [3]uint32
+				for i := 0; i < p.Dim; i++ {
+					v := int64(cc[i]) + off[i]
+					if v < 0 || v >= int64(g.GlobalDim) {
+						return
+					}
+					nc[i] = uint32(v)
+				}
+				neighChunk := g.OwnerChunkOfCell(nc)
+				if neighChunk < lo || neighChunk >= hi {
+					counted[neighChunk] = true // ghost chunk touched
+				}
+				pts := acc.Cell(nc)
+				same := nc == cc
+				for i := range own {
+					for j := range pts {
+						if same && i == j {
+							continue
+						}
+						res.Comparisons++
+						if geometry.Dist2(p.Dim, own[i].X, pts[j].X) <= r2 {
+							res.Edges = append(res.Edges, graph.Edge{U: own[i].ID, V: pts[j].ID})
+						}
+					}
+				}
+			}
+			for dx := -layers; dx <= layers; dx++ {
+				off[0] = dx
+				for dy := -layers; dy <= layers; dy++ {
+					off[1] = dy
+					if p.Dim == 2 {
+						visit()
+						continue
+					}
+					for dz := -layers; dz <= layers; dz++ {
+						off[2] = dz
+						visit()
+					}
+				}
+			}
+		}
+	}
+	for chunk := range counted {
+		res.RedundantVertices += acc.ChunkTotal(chunk)
+	}
+	return res
+}
+
+// Points returns all generated vertex positions in ID order. Used by
+// reference checks.
+func Points(p Params) []geometry.Point {
+	return p.grid().AllPoints()
+}
+
+// ConnectivityRadius returns the radius 0.55 * (ln n / n)^(1/d) used by the
+// paper's experiments (§8.4), which keeps the graph connected w.h.p.
+func ConnectivityRadius(n uint64, dim int) float64 {
+	nf := float64(n)
+	return 0.55 * math.Pow(math.Log(nf)/nf, 1/float64(dim))
+}

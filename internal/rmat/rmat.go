@@ -1,0 +1,115 @@
+// Package rmat implements the recursive matrix (R-MAT) generator of
+// Chakrabarti et al. (paper §3.5.2), the Graph 500 reference model the
+// paper benchmarks against in §8.6.1. Each of the m edges is drawn
+// independently by recursively descending log2(n) levels of the adjacency
+// matrix with quadrant probabilities (a, b, c, d); each edge's randomness
+// is seeded by its index, which makes the generator communication-free by
+// construction (and O(m log n) — the cost Figs. 17/18 attribute its
+// slowness to).
+package rmat
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pe"
+	"repro/internal/prng"
+)
+
+// Params configures an R-MAT instance.
+type Params struct {
+	Scale uint   // n = 2^Scale vertices
+	M     uint64 // number of edges
+	// Quadrant probabilities; if all zero, the Graph 500 defaults
+	// (0.57, 0.19, 0.19, 0.05) are used.
+	A, B, C, D float64
+	Seed       uint64
+	Chunks     uint64 // number of logical PEs; 0 means 1
+}
+
+func (p Params) chunks() uint64 {
+	if p.Chunks == 0 {
+		return 1
+	}
+	return p.Chunks
+}
+
+func (p Params) probs() (a, b, c, d float64) {
+	if p.A == 0 && p.B == 0 && p.C == 0 && p.D == 0 {
+		return 0.57, 0.19, 0.19, 0.05
+	}
+	return p.A, p.B, p.C, p.D
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Scale == 0 || p.Scale > 62 {
+		return fmt.Errorf("rmat: scale %d out of range", p.Scale)
+	}
+	a, b, c, d := p.probs()
+	sum := a + b + c + d
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: quadrant probabilities sum to %v", sum)
+	}
+	return nil
+}
+
+// N returns the number of vertices.
+func (p Params) N() uint64 { return 1 << p.Scale }
+
+// Generate produces all m edges (duplicates and self-loops permitted, as
+// in the Graph 500 reference).
+func Generate(p Params, workers int) (*graph.EdgeList, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	results := pe.ForEach(int(p.chunks()), workers, func(c int) []graph.Edge {
+		return GenerateChunk(p, uint64(c))
+	})
+	return graph.Merge(p.N(), results...), nil
+}
+
+// GenerateChunk emits the edges of one chunk of the edge-index range.
+func GenerateChunk(p Params, chunk uint64) []graph.Edge {
+	P := p.chunks()
+	edges := make([]graph.Edge, 0, (chunk+1)*p.M/P-chunk*p.M/P)
+	StreamChunk(p, chunk, func(e graph.Edge) { edges = append(edges, e) })
+	return edges
+}
+
+// StreamChunk emits the chunk's edges through a callback without
+// materializing them (memory-bounded generation).
+func StreamChunk(p Params, chunk uint64, emit func(graph.Edge)) {
+	P := p.chunks()
+	lo := chunk * p.M / P
+	hi := (chunk + 1) * p.M / P
+	a, b, c, _ := p.probs()
+	for i := lo; i < hi; i++ {
+		emit(Edge(p.Seed, i, p.Scale, a, b, c))
+	}
+}
+
+// Edge draws edge i: a recursive descent over the adjacency matrix with
+// per-edge seeded randomness.
+func Edge(seed, i uint64, scale uint, a, b, c float64) graph.Edge {
+	r := prng.New(seed, core.TagRMAT, i)
+	var row, col uint64
+	for level := uint(0); level < scale; level++ {
+		u := r.Float64()
+		row <<= 1
+		col <<= 1
+		switch {
+		case u < a:
+			// top-left
+		case u < a+b:
+			col |= 1
+		case u < a+b+c:
+			row |= 1
+		default:
+			row |= 1
+			col |= 1
+		}
+	}
+	return graph.Edge{U: row, V: col}
+}

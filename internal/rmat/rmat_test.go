@@ -1,0 +1,134 @@
+package rmat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEdgeCountAndRange(t *testing.T) {
+	p := Params{Scale: 10, M: 5000, Seed: 1, Chunks: 8}
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(el.Len()) != p.M {
+		t.Fatalf("%d edges, want %d", el.Len(), p.M)
+	}
+	for _, e := range el.Edges {
+		if e.U >= p.N() || e.V >= p.N() {
+			t.Fatalf("edge %v outside n=%d", e, p.N())
+		}
+	}
+}
+
+func TestWorkerAndChunkIndependence(t *testing.T) {
+	// R-MAT edges are seeded by index, so even the chunk count must not
+	// change the edge multiset.
+	base, err := Generate(Params{Scale: 12, M: 20000, Seed: 3, Chunks: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Sort()
+	for _, chunks := range []uint64{4, 16} {
+		got, err := Generate(Params{Scale: 12, M: 20000, Seed: 3, Chunks: chunks}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Sort()
+		for i := range base.Edges {
+			if base.Edges[i] != got.Edges[i] {
+				t.Fatalf("chunks=%d: edge %d differs", chunks, i)
+			}
+		}
+	}
+}
+
+// TestQuadrantSkew: with Graph 500 probabilities the top-left quadrant
+// (high bit of both row and col zero) receives a+?? of the mass — check
+// the first-level distribution.
+func TestQuadrantSkew(t *testing.T) {
+	p := Params{Scale: 14, M: 200000, Seed: 5, Chunks: 4}
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := p.N() / 2
+	var tl, tr, bl, br float64
+	for _, e := range el.Edges {
+		switch {
+		case e.U < half && e.V < half:
+			tl++
+		case e.U < half:
+			tr++
+		case e.V < half:
+			bl++
+		default:
+			br++
+		}
+	}
+	total := float64(el.Len())
+	check := func(name string, got, want float64) {
+		if math.Abs(got/total-want) > 0.01 {
+			t.Errorf("%s fraction %v, want ~%v", name, got/total, want)
+		}
+	}
+	check("a", tl, 0.57)
+	check("b", tr, 0.19)
+	check("c", bl, 0.19)
+	check("d", br, 0.05)
+}
+
+// TestSkewedDegrees: R-MAT produces a heavily skewed degree distribution.
+func TestSkewedDegrees(t *testing.T) {
+	p := Params{Scale: 12, M: 1 << 16, Seed: 7, Chunks: 4}
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := graph.ComputeStats(el)
+	if float64(stats.MaxDegree) < 8*stats.AvgDegree {
+		t.Errorf("max degree %d not >> avg %v", stats.MaxDegree, stats.AvgDegree)
+	}
+}
+
+func TestCustomProbabilities(t *testing.T) {
+	// Uniform probabilities make R-MAT an (almost) uniform random digraph.
+	p := Params{Scale: 10, M: 100000, A: 0.25, B: 0.25, C: 0.25, D: 0.25, Seed: 9, Chunks: 4}
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := p.N() / 2
+	tl := 0
+	for _, e := range el.Edges {
+		if e.U < half && e.V < half {
+			tl++
+		}
+	}
+	frac := float64(tl) / float64(el.Len())
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("uniform quadrant fraction %v, want 0.25", frac)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{Scale: 0, M: 10}).Validate(); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if err := (Params{Scale: 10, M: 10, A: 0.5, B: 0.1, C: 0.1, D: 0.1}).Validate(); err == nil {
+		t.Error("non-normalized probabilities accepted")
+	}
+	if err := (Params{Scale: 10, M: 10}).Validate(); err != nil {
+		t.Errorf("default probabilities rejected: %v", err)
+	}
+}
+
+func BenchmarkChunk(b *testing.B) {
+	p := Params{Scale: 20, M: 1 << 16, Seed: 1, Chunks: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateChunk(p, 7)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sampling implements sequential and distributed sampling without
+// replacement: Vitter's Algorithm D for drawing a sorted random sample in
+// expected linear time, and the divide-and-conquer sample-count splitting
+// of Sanders et al. that lets every processing entity compute, without
+// communication, how many samples land in its chunk of the universe.
+package sampling
+
+import (
+	"math"
+
+	"repro/internal/prng"
+)
+
+// alphaInv is Vitter's 1/alpha: Method D switches to Method A when the
+// remaining sample is denser than universe/alphaInv.
+const alphaInv = 13
+
+// maxUniverse bounds the universe size so that float64 arithmetic inside
+// Method D stays exact enough (2^52 < 2^53 mantissa).
+const maxUniverse = 1 << 52
+
+// SampleSorted draws n distinct indices uniformly from [0, universe) and
+// calls emit with each index in increasing order. It implements Vitter's
+// sequential sampling Algorithm D (with the Method A fallback for dense
+// samples) and runs in expected O(n) time independent of the universe size.
+func SampleSorted(r *prng.Random, universe, n uint64, emit func(uint64)) {
+	if n > universe {
+		panic("sampling: sample larger than universe")
+	}
+	if universe > maxUniverse {
+		panic("sampling: universe exceeds 2^52")
+	}
+	if n == 0 {
+		return
+	}
+	methodD(r, universe, n, 0, emit)
+}
+
+// methodA is Vitter's Method A: sequential skip generation in O(universe).
+// Used when the sampling fraction is high, where it is cache-friendly and
+// fast in practice.
+func methodA(r *prng.Random, N, n, base uint64, emit func(uint64)) {
+	top := float64(N - n)
+	Nreal := float64(N)
+	idx := base
+	for n >= 2 {
+		v := r.Float64()
+		var s uint64
+		quot := top / Nreal
+		for quot > v {
+			s++
+			top--
+			Nreal--
+			quot *= top / Nreal
+		}
+		emit(idx + s)
+		idx += s + 1
+		Nreal--
+		n--
+	}
+	// n == 1: choose uniformly among the remaining records.
+	s := uint64(Nreal * r.Float64())
+	if s >= uint64(Nreal) { // guard against u ~ 1.0 rounding
+		s = uint64(Nreal) - 1
+	}
+	emit(idx + s)
+}
+
+// methodD is Vitter's Method D: generates skip distances S directly from
+// their distribution via rejection, visiting only selected records.
+func methodD(r *prng.Random, N, n, base uint64, emit func(uint64)) {
+	if alphaInv*n >= N {
+		methodA(r, N, n, base, emit)
+		return
+	}
+
+	idx := base
+	ninv := 1.0 / float64(n)
+	vprime := math.Exp(math.Log(r.Float64Open()) * ninv)
+	qu1 := N - n + 1
+	qu1real := float64(qu1)
+	threshold := alphaInv * n
+
+	for n > 1 && threshold < N {
+		nmin1inv := 1.0 / float64(n-1)
+		var s uint64
+		var sreal float64
+		for {
+			// Step D2: generate U and X.
+			var x float64
+			for {
+				x = float64(N) * (1 - vprime)
+				s = uint64(x)
+				if s < qu1 {
+					break
+				}
+				vprime = math.Exp(math.Log(r.Float64Open()) * ninv)
+			}
+			sreal = float64(s)
+			u := r.Float64Open()
+
+			// Step D3: squeeze acceptance.
+			y1 := math.Exp(math.Log(u*float64(N)/qu1real) * nmin1inv)
+			vprime = y1 * (-x/float64(N) + 1.0) * (qu1real / (qu1real - sreal))
+			if vprime <= 1.0 {
+				break // accept; vprime already valid for the next round
+			}
+
+			// Step D4: exact acceptance test.
+			y2 := 1.0
+			top := float64(N - 1)
+			var bottom, limit float64
+			if float64(n-1) > sreal {
+				bottom = float64(N - n)
+				limit = float64(N - s)
+			} else {
+				bottom = float64(N) - sreal - 1
+				limit = qu1real
+			}
+			for t := float64(N - 1); t >= limit; t-- {
+				y2 *= top / bottom
+				top--
+				bottom--
+			}
+			if float64(N)/(float64(N)-x) >= y1*math.Exp(math.Log(y2)*nmin1inv) {
+				vprime = math.Exp(math.Log(r.Float64Open()) * nmin1inv)
+				break // accept
+			}
+			vprime = math.Exp(math.Log(r.Float64Open()) * ninv)
+		}
+
+		// Step D5: select the (s+1)st remaining record.
+		emit(idx + s)
+		idx += s + 1
+		N -= s + 1
+		n--
+		ninv = nmin1inv
+		qu1 -= s
+		qu1real -= sreal
+		threshold -= alphaInv
+	}
+
+	if n > 1 {
+		methodA(r, N, n, idx, emit)
+		return
+	}
+	// n == 1
+	s := uint64(float64(N) * vprime)
+	if s >= N {
+		s = N - 1
+	}
+	emit(idx + s)
+}
+
+// SortedUniforms emits k uniform variates over [lo, hi) in ascending order
+// using sequential order statistics (the sweep-line generator of sRHG needs
+// monotonically increasing positions without buffering the whole set).
+func SortedUniforms(r *prng.Random, k uint64, lo, hi float64, emit func(float64)) {
+	cur := lo
+	for j := k; j >= 1; j-- {
+		u := r.Float64Open()
+		cur += (hi - cur) * (1 - math.Pow(u, 1.0/float64(j)))
+		if cur > hi {
+			cur = hi
+		}
+		emit(cur)
+	}
+}

@@ -1,0 +1,186 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func collect(r *prng.Random, universe, n uint64) []uint64 {
+	var out []uint64
+	SampleSorted(r, universe, n, func(v uint64) { out = append(out, v) })
+	return out
+}
+
+// TestSampleSortedInvariants: output has exactly n strictly increasing
+// values inside [0, universe). Exercises both Method A (dense) and D
+// (sparse) paths.
+func TestSampleSortedInvariants(t *testing.T) {
+	cases := []struct{ universe, n uint64 }{
+		{10, 10}, // full universe
+		{10, 1},
+		{100, 50},       // dense: method A
+		{1000, 10},      // sparse: method D
+		{1 << 30, 1000}, // very sparse
+		{1 << 20, 1 << 18},
+		{1, 1},
+		{5, 0},
+	}
+	for _, c := range cases {
+		r := prng.NewFromRaw(17)
+		out := collect(r, c.universe, c.n)
+		if uint64(len(out)) != c.n {
+			t.Fatalf("universe %d, n %d: got %d samples", c.universe, c.n, len(out))
+		}
+		for i, v := range out {
+			if v >= c.universe {
+				t.Fatalf("sample %d out of universe %d", v, c.universe)
+			}
+			if i > 0 && out[i-1] >= v {
+				t.Fatalf("samples not strictly increasing: %d then %d", out[i-1], v)
+			}
+		}
+	}
+}
+
+func TestSampleSortedProperty(t *testing.T) {
+	f := func(seedRaw uint32, uRaw uint32, nRaw uint16) bool {
+		universe := uint64(uRaw%100000) + 1
+		n := uint64(nRaw) % (universe + 1)
+		r := prng.NewFromRaw(uint64(seedRaw))
+		out := collect(r, universe, n)
+		if uint64(len(out)) != n {
+			return false
+		}
+		for i, v := range out {
+			if v >= universe || (i > 0 && out[i-1] >= v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSampleSortedUniformity: every universe element should be selected
+// with probability n/universe.
+func TestSampleSortedUniformity(t *testing.T) {
+	const universe = 40
+	const n = 10
+	const trials = 60000
+	counts := make([]int, universe)
+	r := prng.NewFromRaw(23)
+	for i := 0; i < trials; i++ {
+		SampleSorted(r, universe, n, func(v uint64) { counts[v]++ })
+	}
+	want := float64(trials) * n / universe
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("element %d selected %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+// TestSampleSortedFirstGapDistribution: the probability that element 0 is
+// in the sample is n/universe; sharper than the mean test for detecting
+// skip-distribution bugs in Method D.
+func TestSampleSortedFirstElement(t *testing.T) {
+	const universe = 1 << 16
+	const n = 64 // sparse: method D path
+	const trials = 40000
+	hit := 0
+	r := prng.NewFromRaw(31)
+	for i := 0; i < trials; i++ {
+		first := uint64(math.MaxUint64)
+		SampleSorted(r, universe, n, func(v uint64) {
+			if v < first {
+				first = v
+			}
+		})
+		if first == 0 {
+			hit++
+		}
+	}
+	p := float64(n) / float64(universe)
+	got := float64(hit) / trials
+	sigma := math.Sqrt(p * (1 - p) / trials)
+	if math.Abs(got-p) > 6*sigma {
+		t.Errorf("P[0 selected] = %v, want %v +- %v", got, p, 6*sigma)
+	}
+}
+
+func TestSortedUniformsMonotone(t *testing.T) {
+	r := prng.NewFromRaw(5)
+	prev := -1.0
+	count := 0
+	SortedUniforms(r, 10000, 0, 1, func(x float64) {
+		if x < prev {
+			t.Fatalf("not monotone: %v after %v", x, prev)
+		}
+		if x < 0 || x > 1 {
+			t.Fatalf("out of range: %v", x)
+		}
+		prev = x
+		count++
+	})
+	if count != 10000 {
+		t.Fatalf("emitted %d values, want 10000", count)
+	}
+}
+
+// TestSortedUniformsDistribution: sorted generation must still be uniform
+// marginally — compare the empirical CDF at a few quantiles.
+func TestSortedUniformsDistribution(t *testing.T) {
+	r := prng.NewFromRaw(6)
+	const k = 200000
+	var below25, below50, below75 int
+	SortedUniforms(r, k, 0, 1, func(x float64) {
+		if x < 0.25 {
+			below25++
+		}
+		if x < 0.5 {
+			below50++
+		}
+		if x < 0.75 {
+			below75++
+		}
+	})
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / k
+		if math.Abs(frac-want) > 0.01 {
+			t.Errorf("%s: %v, want ~%v", name, frac, want)
+		}
+	}
+	check("P[<0.25]", below25, 0.25)
+	check("P[<0.50]", below50, 0.50)
+	check("P[<0.75]", below75, 0.75)
+}
+
+func TestSortedUniformsRange(t *testing.T) {
+	r := prng.NewFromRaw(7)
+	SortedUniforms(r, 1000, 2.5, 7.5, func(x float64) {
+		if x < 2.5 || x > 7.5 {
+			t.Fatalf("value %v outside [2.5, 7.5]", x)
+		}
+	})
+}
+
+func BenchmarkSampleSortedSparse(b *testing.B) {
+	r := prng.NewFromRaw(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SampleSorted(r, 1<<40, 1000, func(uint64) {})
+	}
+}
+
+func BenchmarkSampleSortedDense(b *testing.B) {
+	r := prng.NewFromRaw(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SampleSorted(r, 2000, 1000, func(uint64) {})
+	}
+}

@@ -1,0 +1,184 @@
+package sbm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPlantedPartitionDensities(t *testing.T) {
+	const n = 3000
+	const blocks = 3
+	const pIn, pOut = 0.02, 0.002
+	p := PlantedPartition(n, blocks, pIn, pOut, 7, 8)
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := p.blockStarts()
+	blockOf := func(v uint64) int {
+		for b := 0; b < blocks; b++ {
+			if v < starts[b+1] {
+				return b
+			}
+		}
+		return blocks - 1
+	}
+	// Count undirected edges per block pair.
+	intra, inter := 0, 0
+	for _, e := range el.UndirectedSet() {
+		if blockOf(e.U) == blockOf(e.V) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	// Expected counts.
+	perBlock := float64(n / blocks)
+	wantIntra := float64(blocks) * perBlock * (perBlock - 1) / 2 * pIn
+	wantInter := float64(blocks*(blocks-1)) / 2 * perBlock * perBlock * pOut
+	if math.Abs(float64(intra)-wantIntra) > 6*math.Sqrt(wantIntra) {
+		t.Errorf("intra edges %d, want ~%v", intra, wantIntra)
+	}
+	if math.Abs(float64(inter)-wantInter) > 6*math.Sqrt(wantInter) {
+		t.Errorf("inter edges %d, want ~%v", inter, wantInter)
+	}
+}
+
+func TestConventionAndConsistency(t *testing.T) {
+	p := PlantedPartition(1200, 4, 0.05, 0.005, 3, 6)
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.CountSelfLoops() != 0 {
+		t.Error("self loops present")
+	}
+	if el.CountDuplicates() != 0 {
+		t.Error("duplicates present")
+	}
+	set := make(map[graph.Edge]bool, el.Len())
+	for _, e := range el.Edges {
+		set[e] = true
+	}
+	for _, e := range el.Edges {
+		if !set[graph.Edge{U: e.V, V: e.U}] {
+			t.Fatalf("edge %v has no mirror", e)
+		}
+	}
+}
+
+func TestWorkerIndependence(t *testing.T) {
+	p := PlantedPartition(900, 3, 0.04, 0.004, 11, 8)
+	a, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Sort()
+	b.Sort()
+	if a.Len() != b.Len() {
+		t.Fatal("edge count depends on workers")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+// TestUniformMatrixMatchesGNP: with a constant probability matrix the SBM
+// is exactly G(n,p); compare densities across seeds.
+func TestUniformMatrixMatchesGNP(t *testing.T) {
+	const n = 1500
+	const prob = 0.01
+	var total int
+	const trials = 10
+	for s := uint64(0); s < trials; s++ {
+		p := PlantedPartition(n, 4, prob, prob, s, 4)
+		el, err := Generate(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(el.UndirectedSet())
+	}
+	mean := float64(total) / trials
+	want := float64(n) * (n - 1) / 2 * prob
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean undirected edges %v, want ~%v", mean, want)
+	}
+}
+
+// TestCommunityStructure: with strong intra-block probability the blocks
+// are denser than the cut — detectable by simple conductance.
+func TestCommunityStructure(t *testing.T) {
+	p := PlantedPartition(2000, 2, 0.05, 0.001, 5, 4)
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := p.N() / 2
+	var cut, vol int
+	for _, e := range el.Edges {
+		vol++
+		if (e.U < half) != (e.V < half) {
+			cut++
+		}
+	}
+	conductance := float64(cut) / float64(vol)
+	if conductance > 0.1 {
+		t.Errorf("conductance %v, want << 1 for planted partition", conductance)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{}).Validate(); err == nil {
+		t.Error("empty params accepted")
+	}
+	bad := PlantedPartition(100, 2, 0.5, 0.1, 1, 1)
+	bad.Prob[0][1] = 0.2 // break symmetry
+	if err := bad.Validate(); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	bad2 := PlantedPartition(100, 2, 1.5, 0.1, 1, 1)
+	if err := bad2.Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+// TestBlockBoundariesRespectChunks: chunks that split a block mid-way must
+// still produce consistent results (regression guard for the interval
+// intersection logic).
+func TestBlockBoundariesVsChunks(t *testing.T) {
+	// 5 blocks of 101 vertices across 7 chunks: nothing aligns.
+	p := Params{
+		BlockSizes: []uint64{101, 101, 101, 101, 101},
+		Seed:       13,
+		Chunks:     7,
+	}
+	p.Prob = make([][]float64, 5)
+	for i := range p.Prob {
+		p.Prob[i] = make([]float64, 5)
+		for j := range p.Prob[i] {
+			p.Prob[i][j] = 0.01
+			if i == j {
+				p.Prob[i][j] = 0.08
+			}
+		}
+	}
+	el, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.CountDuplicates() != 0 || el.CountSelfLoops() != 0 {
+		t.Fatal("duplicates or self loops with unaligned blocks")
+	}
+	und := el.UndirectedSet()
+	if el.Len() != 2*len(und) {
+		t.Fatalf("partitioned-output convention broken: %d vs %d", el.Len(), 2*len(und))
+	}
+}

@@ -1,0 +1,306 @@
+// Package validate checks generated instances against the defining
+// properties and the distributional theory of their network models. It is
+// the acceptance layer a benchmark pipeline runs before trusting a
+// generator: structural invariants (exact counts, no self-loops, the
+// partitioned-output symmetry) and statistical expectations (degree
+// concentration, power-law tails) with explicit tolerances.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Check is one named validation with its outcome.
+type Check struct {
+	Name   string
+	Passed bool
+	Detail string
+}
+
+func check(name string, passed bool, format string, args ...any) Check {
+	return Check{Name: name, Passed: passed, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AllPassed reports whether every check passed.
+func AllPassed(checks []Check) bool {
+	for _, c := range checks {
+		if !c.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the subset of failed checks.
+func Failed(checks []Check) []Check {
+	var out []Check
+	for _, c := range checks {
+		if !c.Passed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// structural runs the invariants shared by all simple-graph models.
+func structural(el *graph.EdgeList, wantSymmetric bool) []Check {
+	checks := []Check{
+		check("no-self-loops", el.CountSelfLoops() == 0,
+			"%d self loops", el.CountSelfLoops()),
+		check("no-duplicate-edges", el.CountDuplicates() == 0,
+			"%d duplicates", el.CountDuplicates()),
+	}
+	inRange := true
+	for _, e := range el.Edges {
+		if e.U >= el.N || e.V >= el.N {
+			inRange = false
+			break
+		}
+	}
+	checks = append(checks, check("endpoints-in-range", inRange, "n = %d", el.N))
+	if !inRange {
+		// Degree-based checks would index out of range; stop here.
+		return checks
+	}
+	if wantSymmetric {
+		set := make(map[graph.Edge]bool, el.Len())
+		for _, e := range el.Edges {
+			set[e] = true
+		}
+		sym := true
+		for _, e := range el.Edges {
+			if !set[graph.Edge{U: e.V, V: e.U}] {
+				sym = false
+				break
+			}
+		}
+		checks = append(checks, check("partitioned-output-symmetry", sym,
+			"every edge must appear once per endpoint"))
+	}
+	return checks
+}
+
+// endpointsOK reports whether the endpoints-in-range structural check
+// passed (degree-based checks must not run otherwise).
+func endpointsOK(checks []Check) bool {
+	for _, c := range checks {
+		if c.Name == "endpoints-in-range" {
+			return c.Passed
+		}
+	}
+	return true
+}
+
+// GNM validates a uniform G(n,m) instance.
+func GNM(el *graph.EdgeList, n, m uint64, directed bool) []Check {
+	checks := structural(el, !directed)
+	if !endpointsOK(checks) {
+		return checks
+	}
+	wantLen := m
+	if !directed {
+		wantLen = 2 * m
+	}
+	checks = append(checks, check("exact-edge-count", uint64(el.Len()) == wantLen,
+		"%d entries, want %d", el.Len(), wantLen))
+	// Degree concentration: in G(n,m) degrees are hypergeometric-ish with
+	// mean 2m/n (undirected) or m/n (out-degree, directed); the maximum
+	// should stay within a generous band around the Poisson tail.
+	stats := graph.ComputeStats(el)
+	mean := float64(m) / float64(n)
+	if !directed {
+		mean = 2 * float64(m) / float64(n)
+	}
+	bound := mean + 12*math.Sqrt(mean+1) + 12
+	checks = append(checks, check("max-degree-band", float64(stats.MaxDegree) < bound,
+		"max degree %d, bound %.1f (mean %.2f)", stats.MaxDegree, bound, mean))
+	return checks
+}
+
+// GNP validates a Gilbert G(n,p) instance.
+func GNP(el *graph.EdgeList, n uint64, p float64, directed bool) []Check {
+	checks := structural(el, !directed)
+	if !endpointsOK(checks) {
+		return checks
+	}
+	universe := float64(n) * float64(n-1)
+	if !directed {
+		universe /= 2
+	}
+	mean := universe * p
+	sigma := math.Sqrt(mean*(1-p)) + 1
+	entries := float64(el.Len())
+	if !directed {
+		entries /= 2
+	}
+	checks = append(checks, check("edge-count-concentration",
+		math.Abs(entries-mean) <= 8*sigma,
+		"%.0f edges, want %.0f +- %.0f", entries, mean, 8*sigma))
+	return checks
+}
+
+// RGG validates a random geometric graph (dim 2 or 3) with radius r.
+func RGG(el *graph.EdgeList, n uint64, r float64, dim int) []Check {
+	checks := structural(el, true)
+	if !endpointsOK(checks) {
+		return checks
+	}
+	stats := graph.ComputeStats(el)
+	// Expected interior degree: n * volume of the r-ball (paper §2.1.2);
+	// boundary effects only reduce it.
+	var ball float64
+	if dim == 2 {
+		ball = math.Pi * r * r
+	} else {
+		ball = 4.0 / 3.0 * math.Pi * r * r * r
+	}
+	want := float64(n) * ball
+	checks = append(checks, check("avg-degree-band",
+		stats.AvgDegree > want*0.6 && stats.AvgDegree < want*1.1,
+		"avg degree %.2f, interior expectation %.2f", stats.AvgDegree, want))
+	return checks
+}
+
+// RDG validates a periodic random Delaunay graph.
+func RDG(el *graph.EdgeList, n uint64, dim int) []Check {
+	checks := structural(el, true)
+	if !endpointsOK(checks) {
+		return checks
+	}
+	stats := graph.ComputeStats(el)
+	if dim == 2 {
+		// Periodic planar triangulation: average degree exactly 6.
+		checks = append(checks, check("planar-average-degree",
+			math.Abs(stats.AvgDegree-6) < 0.2,
+			"avg degree %.3f, want 6 (torus Euler formula)", stats.AvgDegree))
+	} else {
+		// Poisson-Delaunay in 3-D: 2 + 48 pi^2 / 35 ~ 15.54.
+		want := 2 + 48*math.Pi*math.Pi/35
+		checks = append(checks, check("poisson-delaunay-degree",
+			math.Abs(stats.AvgDegree-want) < 1.0,
+			"avg degree %.3f, want ~%.2f", stats.AvgDegree, want))
+	}
+	checks = append(checks, check("connected", stats.Components == 1,
+		"%d components, a Delaunay graph is connected", stats.Components))
+	return checks
+}
+
+// RHG validates a random hyperbolic graph against its target degree and
+// power-law exponent.
+func RHG(el *graph.EdgeList, n uint64, avgDeg, gamma float64) []Check {
+	checks := structural(el, true)
+	if !endpointsOK(checks) {
+		return checks
+	}
+	stats := graph.ComputeStats(el)
+	checks = append(checks, check("avg-degree-band",
+		stats.AvgDegree > avgDeg*0.4 && stats.AvgDegree < avgDeg*1.8,
+		"avg degree %.2f, target %.1f (asymptotic calibration)", stats.AvgDegree, avgDeg))
+	est := graph.PowerLawExponentMLE(graph.OutDegrees(el), 2*uint64(avgDeg))
+	checks = append(checks, check("power-law-exponent",
+		!math.IsNaN(est) && est > gamma-0.8 && est < gamma+1.0,
+		"MLE exponent %.2f, target %.1f", est, gamma))
+	return checks
+}
+
+// BA validates a Barabási–Albert instance with d edges per vertex.
+func BA(el *graph.EdgeList, n, d uint64) []Check {
+	var checks []Check
+	checks = append(checks, check("edge-count", uint64(el.Len()) == n*d,
+		"%d edges, want %d", el.Len(), n*d))
+	outDeg := graph.OutDegrees(el)
+	exact := true
+	for _, dd := range outDeg {
+		if dd != d {
+			exact = false
+			break
+		}
+	}
+	checks = append(checks, check("uniform-out-degree", exact,
+		"every vertex must emit exactly %d edges", d))
+	noFuture := true
+	for _, e := range el.Edges {
+		if e.V > e.U {
+			noFuture = false
+			break
+		}
+	}
+	checks = append(checks, check("attaches-backwards", noFuture,
+		"targets must precede sources"))
+	inDeg := make([]uint64, el.N)
+	for _, e := range el.Edges {
+		inDeg[e.V]++
+	}
+	est := graph.PowerLawExponentMLE(inDeg, 2*d)
+	checks = append(checks, check("power-law-in-degree",
+		!math.IsNaN(est) && est > 2.2 && est < 3.8,
+		"MLE exponent %.2f, want ~3", est))
+	return checks
+}
+
+// RMAT validates an R-MAT instance (duplicates and loops permitted).
+func RMAT(el *graph.EdgeList, scale uint, m uint64) []Check {
+	var checks []Check
+	checks = append(checks, check("edge-count", uint64(el.Len()) == m,
+		"%d edges, want %d", el.Len(), m))
+	n := uint64(1) << scale
+	inRange := true
+	for _, e := range el.Edges {
+		if e.U >= n || e.V >= n {
+			inRange = false
+			break
+		}
+	}
+	checks = append(checks, check("endpoints-in-range", inRange, "n = %d", n))
+	stats := graph.ComputeStats(el)
+	checks = append(checks, check("skewed-degrees",
+		float64(stats.MaxDegree) > 4*stats.AvgDegree,
+		"max %d vs avg %.2f: R-MAT must be skewed", stats.MaxDegree, stats.AvgDegree))
+	return checks
+}
+
+// SBM validates a planted-partition instance.
+func SBM(el *graph.EdgeList, blockSizes []uint64, pIn, pOut float64) []Check {
+	checks := structural(el, true)
+	if !endpointsOK(checks) {
+		return checks
+	}
+	starts := make([]uint64, len(blockSizes)+1)
+	for i, s := range blockSizes {
+		starts[i+1] = starts[i] + s
+	}
+	blockOf := func(v uint64) int {
+		for b := 0; b < len(blockSizes); b++ {
+			if v < starts[b+1] {
+				return b
+			}
+		}
+		return len(blockSizes) - 1
+	}
+	var intra, inter float64
+	for _, e := range el.UndirectedSet() {
+		if blockOf(e.U) == blockOf(e.V) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	var wantIntra, wantInter float64
+	for i, si := range blockSizes {
+		wantIntra += float64(si) * float64(si-1) / 2 * pIn
+		for j := i + 1; j < len(blockSizes); j++ {
+			wantInter += float64(si) * float64(blockSizes[j]) * pOut
+		}
+	}
+	tolIntra := 8*math.Sqrt(wantIntra) + 8
+	tolInter := 8*math.Sqrt(wantInter) + 8
+	checks = append(checks,
+		check("intra-block-density", math.Abs(intra-wantIntra) <= tolIntra,
+			"%.0f intra edges, want %.0f +- %.0f", intra, wantIntra, tolIntra),
+		check("inter-block-density", math.Abs(inter-wantInter) <= tolInter,
+			"%.0f inter edges, want %.0f +- %.0f", inter, wantInter, tolInter))
+	return checks
+}
