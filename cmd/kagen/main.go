@@ -1,11 +1,20 @@
 // Command kagen generates graphs from the supported network models and
 // writes them as edge lists (text or binary) or METIS adjacency files.
 //
+// With -stream the graph is never materialized: the model's streaming
+// generator runs all PEs on a worker pool and the edge stream is written
+// straight to the sink in deterministic PE order, so instances larger
+// than memory can be generated (formats: text, binary, sharded-text,
+// sharded-binary, none; with the sharded formats -o names a directory of
+// per-PE files).
+//
 // Examples:
 //
 //	kagen -model gnm_undirected -n 65536 -m 1048576 -o graph.txt
 //	kagen -model rhg -n 1048576 -deg 16 -gamma 2.8 -pes 8 -format metis -o graph.metis
 //	kagen -model rgg2d -n 100000 -stats
+//	kagen -model rgg2d -n 100000000 -pes 256 -stream -format binary -o huge.bin
+//	kagen -model srhg -n 10000000 -pes 64 -stream -format sharded-text -o shards/
 package main
 
 import (
@@ -35,9 +44,10 @@ func main() {
 		pes     = flag.Uint64("pes", 1, "number of logical PEs (chunks)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (default: stdout)")
-		format  = flag.String("format", "text", "output format: text, binary, metis, none")
+		out     = flag.String("o", "", "output file (default: stdout; a directory for sharded formats)")
+		format  = flag.String("format", "text", "output format: text, binary, metis, none; with -stream also sharded-text, sharded-binary")
 		stats   = flag.Bool("stats", false, "print graph statistics to stderr")
+		stream  = flag.Bool("stream", false, "stream edges to the sink without materializing the graph")
 	)
 	flag.Parse()
 
@@ -47,6 +57,11 @@ func main() {
 	}, kagen.Options{Seed: *seed, PEs: *pes, Workers: *workers})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *stream {
+		runStream(gen, *model, *format, *out, *workers, *stats)
+		return
 	}
 
 	start := time.Now()
@@ -85,6 +100,74 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+}
+
+// countingSink wraps a Sink and counts the delivered edges for -stats.
+type countingSink struct {
+	kagen.Sink
+	edges uint64
+}
+
+func (c *countingSink) Chunk(pe uint64, edges []kagen.Edge) error {
+	c.edges += uint64(len(edges))
+	return c.Sink.Chunk(pe, edges)
+}
+
+// discardSink counts edges without writing them (-format none).
+type discardSink struct{}
+
+func (discardSink) Begin(n, pes uint64) error             { return nil }
+func (discardSink) Chunk(pe uint64, e []kagen.Edge) error { return nil }
+func (discardSink) Close() error                          { return nil }
+
+func runStream(gen kagen.Generator, model, format, out string, workers int, stats bool) {
+	s, ok := kagen.AsStreamer(gen)
+	if !ok {
+		fatal(fmt.Errorf("model %q is materialize-only and cannot stream (drop -stream)", model))
+	}
+
+	var sink kagen.Sink
+	switch format {
+	case "text", "binary":
+		if format == "binary" && out == "" {
+			// The edge count is patched into the header at Close, which
+			// needs a seekable file — catch this before hours of streaming.
+			fatal(fmt.Errorf("format binary with -stream needs -o <file> (stdout cannot seek)"))
+		}
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if format == "text" {
+			sink = kagen.NewTextSink(w)
+		} else {
+			sink = kagen.NewBinarySink(w)
+		}
+	case "sharded-text", "sharded-binary":
+		if out == "" {
+			fatal(fmt.Errorf("format %q needs -o <directory>", format))
+		}
+		sink = kagen.NewShardedSink(out, model, format == "sharded-binary")
+	case "none":
+		sink = discardSink{}
+	default:
+		fatal(fmt.Errorf("unknown streaming format %q", format))
+	}
+
+	counting := &countingSink{Sink: sink}
+	start := time.Now()
+	if err := kagen.Stream(s, workers, counting); err != nil {
+		fatal(err)
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "model=%s n=%d edges=%d pes=%d time=%s\n",
+			model, s.N(), counting.edges, s.PEs(), time.Since(start))
 	}
 }
 

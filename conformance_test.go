@@ -1,0 +1,216 @@
+package kagen
+
+import (
+	"runtime"
+	"testing"
+)
+
+// conformanceParams are deliberately small: the suite runs every model
+// several times over.
+var conformanceParams = ModelParams{
+	N: 400, M: 1600, P: 0.02, AvgDeg: 8, Gamma: 2.8, D: 3, Scale: 9,
+}
+
+// streamableModels documents which registry models expose a streaming
+// view. The materialize-only set (value false) is part of the library
+// contract: the undirected ER variants buffer their triangular chunk
+// pairs, RHG is superseded by sRHG for streaming, and SBM reuses the
+// undirected G(n,p) construction.
+var streamableModels = map[Model]bool{
+	ModelGNMDirected:   true,
+	ModelGNMUndirected: false,
+	ModelGNPDirected:   true,
+	ModelGNPUndirected: false,
+	ModelRGG2D:         true,
+	ModelRGG3D:         true,
+	ModelRDG2D:         true,
+	ModelRDG3D:         true,
+	ModelRHG:           false,
+	ModelSRHG:          true,
+	ModelBA:            true,
+	ModelRMAT:          true,
+	ModelSBM:           false,
+}
+
+func newConformanceGen(t *testing.T, model Model, workers int) Generator {
+	t.Helper()
+	gen, err := New(model, conformanceParams, Options{Seed: 99, PEs: 5, Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: %v", model, err)
+	}
+	return gen
+}
+
+func sameEdges(t *testing.T, model Model, label string, got, want []Edge) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %s has %d edges, want %d", model, label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: %s edge %d = %v, want %v", model, label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestConformance is the cross-model contract suite: for every registry
+// model it asserts that (a) Generate equals the concatenated Chunk
+// outputs edge for edge, (b) the output is invariant under the worker
+// count, and (c) every streamable model's StreamChunk emits exactly the
+// Chunk edges — including through the parallel streaming runtime.
+func TestConformance(t *testing.T) {
+	if len(streamableModels) != len(Models()) {
+		t.Fatalf("streamableModels covers %d models, registry has %d",
+			len(streamableModels), len(Models()))
+	}
+	for _, model := range Models() {
+		model := model
+		t.Run(string(model), func(t *testing.T) {
+			t.Parallel()
+			gen := newConformanceGen(t, model, 2)
+			whole, err := gen.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (a) Chunk concatenation equals Generate, in order.
+			var concat []Edge
+			for pe := uint64(0); pe < gen.PEs(); pe++ {
+				part, err := gen.Chunk(pe)
+				if err != nil {
+					t.Fatalf("chunk %d: %v", pe, err)
+				}
+				concat = append(concat, part...)
+			}
+			sameEdges(t, model, "chunk concatenation", concat, whole.Edges)
+
+			// (b) Worker-count invariance, byte for byte (not just as sets).
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				alt, err := newConformanceGen(t, model, workers).Generate()
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if alt.N != whole.N {
+					t.Fatalf("workers=%d: n %d, want %d", workers, alt.N, whole.N)
+				}
+				sameEdges(t, model, "worker-invariance", alt.Edges, whole.Edges)
+			}
+
+			// (c) Streaming parity.
+			s, ok := AsStreamer(gen)
+			if ok != streamableModels[model] {
+				t.Fatalf("AsStreamer = %v, documented contract says %v", ok, streamableModels[model])
+			}
+			if !ok {
+				return
+			}
+			if s.N() != whole.N {
+				t.Fatalf("streamer N %d, want %d", s.N(), whole.N)
+			}
+			if s.PEs() != gen.PEs() {
+				t.Fatalf("streamer PEs %d, want %d", s.PEs(), gen.PEs())
+			}
+			for pe := uint64(0); pe < s.PEs(); pe++ {
+				want, err := gen.Chunk(pe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []Edge
+				if err := s.StreamChunk(pe, func(e Edge) { got = append(got, e) }); err != nil {
+					t.Fatalf("stream chunk %d: %v", pe, err)
+				}
+				sameEdges(t, model, "stream/chunk parity", got, want)
+			}
+
+			// The parallel streaming runtime delivers the same stream for
+			// any worker count.
+			for _, workers := range []int{1, 3} {
+				sink := &collectSink{}
+				if err := Stream(s, workers, sink); err != nil {
+					t.Fatalf("Stream workers=%d: %v", workers, err)
+				}
+				if sink.n != whole.N || sink.pes != s.PEs() {
+					t.Fatalf("sink header (%d, %d), want (%d, %d)",
+						sink.n, sink.pes, whole.N, s.PEs())
+				}
+				if !sink.closed {
+					t.Fatal("sink not closed")
+				}
+				sameEdges(t, model, "pe.Stream delivery", sink.edges, whole.Edges)
+			}
+		})
+	}
+}
+
+// collectSink gathers the stream in memory and records the protocol.
+type collectSink struct {
+	n, pes uint64
+	lastPE int
+	edges  []Edge
+	closed bool
+}
+
+func (c *collectSink) Begin(n, pes uint64) error {
+	c.n, c.pes = n, pes
+	c.lastPE = -1
+	return nil
+}
+
+func (c *collectSink) Chunk(pe uint64, edges []Edge) error {
+	if int(pe) != c.lastPE+1 {
+		panic("sink: chunks out of order")
+	}
+	c.lastPE = int(pe)
+	c.edges = append(c.edges, edges...)
+	return nil
+}
+
+func (c *collectSink) Close() error {
+	c.closed = true
+	return nil
+}
+
+// TestStreamerConstructorsMatchRegistry: the dedicated streamer
+// constructors produce the same streams as the registry's streaming view.
+func TestStreamerConstructorsMatchRegistry(t *testing.T) {
+	opt := Options{Seed: 4, PEs: 3}
+	direct := []struct {
+		name string
+		s    Streamer
+		gen  Generator
+	}{
+		{"rgg2d", NewRGGStreamer(300, 0.08, 2, opt), NewRGG(300, 0.08, 2, opt)},
+		{"rgg3d", NewRGGStreamer(200, 0.2, 3, opt), NewRGG(200, 0.2, 3, opt)},
+		{"rdg2d", NewRDGStreamer(250, 2, opt), NewRDG(250, 2, opt)},
+		{"rdg3d", NewRDGStreamer(120, 3, opt), NewRDG(120, 3, opt)},
+		{"srhg", NewSRHGStreamer(300, 8, 2.8, opt), NewSRHG(300, 8, 2.8, opt)},
+	}
+	for _, c := range direct {
+		for pe := uint64(0); pe < c.s.PEs(); pe++ {
+			want, err := c.gen.Chunk(pe)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			var got []Edge
+			if err := c.s.StreamChunk(pe, func(e Edge) { got = append(got, e) }); err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			sameEdges(t, Model(c.name), "constructor stream", got, want)
+		}
+	}
+}
+
+func TestSpatialStreamerErrors(t *testing.T) {
+	if err := NewRGGStreamer(100, 2.0, 2, Options{}).StreamChunk(0, func(Edge) {}); err == nil {
+		t.Error("rgg: invalid radius accepted")
+	}
+	if err := NewRDGStreamer(100, 4, Options{}).StreamChunk(0, func(Edge) {}); err == nil {
+		t.Error("rdg: invalid dim accepted")
+	}
+	if err := NewSRHGStreamer(100, 8, 1.0, Options{}).StreamChunk(0, func(Edge) {}); err == nil {
+		t.Error("srhg: invalid gamma accepted")
+	}
+	if err := NewRGGStreamer(100, 0.1, 2, Options{PEs: 2}).StreamChunk(7, func(Edge) {}); err == nil {
+		t.Error("rgg: out-of-range PE accepted")
+	}
+}

@@ -31,6 +31,59 @@ func edgeHash(el *EdgeList) uint64 {
 // -update-golden, then copy the printed values.
 var updateGolden = false
 
+// streamDigest runs every PE of a streamer in order and returns the edge
+// count and the order-dependent FNV-1a hash of the emitted stream — unlike
+// edgeHash it pins the exact emission order, not just the edge set.
+func streamDigest(t *testing.T, s Streamer) (uint64, uint64) {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [16]byte
+	var count uint64
+	for pe := uint64(0); pe < s.PEs(); pe++ {
+		if err := s.StreamChunk(pe, func(e Edge) {
+			binary.LittleEndian.PutUint64(buf[0:], e.U)
+			binary.LittleEndian.PutUint64(buf[8:], e.V)
+			h.Write(buf[:])
+			count++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return count, h.Sum64()
+}
+
+// TestGoldenStreams pins the exact edge stream of the spatial streamers
+// (count and order-dependent hash) at a fixed (seed, PEs). The emission
+// order — cell traversal for RGG, simplex traversal for RDG, sweep order
+// for sRHG — is part of the streaming contract: sinks observe it
+// directly, so changing it silently changes every streamed file.
+func TestGoldenStreams(t *testing.T) {
+	opt := Options{Seed: 12345, PEs: 4}
+	cases := []struct {
+		name      string
+		s         Streamer
+		wantCount uint64
+		wantHash  uint64
+	}{
+		{"rgg2d", NewRGGStreamer(400, 0.08, 2, opt), 3042, 0xde0663fc97ffefcd},
+		{"rgg3d", NewRGGStreamer(300, 0.2, 3, opt), 2290, 0x6790dd562cdce521},
+		{"rdg2d", NewRDGStreamer(300, 2, opt), 1800, 0xf27bb576d30214fd},
+		{"rdg3d", NewRDGStreamer(150, 3, opt), 2354, 0x7aa5a7b658d90345},
+		{"srhg", NewSRHGStreamer(400, 8, 2.8, opt), 2352, 0x1906675efad96fad},
+	}
+	for _, c := range cases {
+		count, hash := streamDigest(t, c.s)
+		if updateGolden {
+			t.Logf("{%q, ..., %d, %#x},", c.name, count, hash)
+			continue
+		}
+		if count != c.wantCount || hash != c.wantHash {
+			t.Errorf("%s: stream (count %d, hash %#x), want (%d, %#x) — the streaming order changed",
+				c.name, count, hash, c.wantCount, c.wantHash)
+		}
+	}
+}
+
 func TestGoldenInstances(t *testing.T) {
 	opt := Options{Seed: 12345, PEs: 4, Workers: 2}
 	cases := []struct {

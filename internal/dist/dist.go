@@ -1,0 +1,282 @@
+// Package dist provides the exact discrete variate samplers the
+// communication-free generators draw from hash-seeded streams: binomial
+// (inversion below, BTRS rejection above the crossover), hypergeometric
+// (inversion from the mode), multinomial (sequential conditional
+// binomials) and the geometric skip of Batagelj–Brandes style samplers.
+//
+// Determinism contract: for a fixed prng.Random stream every sampler
+// consumes a fixed, parameter-dependent number of variates and returns the
+// same value on every PE — the samplers are part of the instance
+// definition pinned by the golden tests.
+package dist
+
+import (
+	"math"
+
+	"repro/internal/prng"
+)
+
+// binomialInversionCutoff is the n*p crossover between the O(n*p)
+// inversion sampler and the O(1) BTRS rejection sampler (ablation A1).
+const binomialInversionCutoff = 10
+
+// Binomial returns a sample of the Binomial(n, p) distribution: the number
+// of successes among n independent trials of probability p.
+func Binomial(r *prng.Random, n uint64, p float64) uint64 {
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Exploit symmetry so the effective p is at most 1/2 (keeps both the
+	// inversion product and the BTRS constants well conditioned).
+	if p > 0.5 {
+		return n - Binomial(r, n, 1-p)
+	}
+	if float64(n)*p < binomialInversionCutoff {
+		return binomialInversion(r, n, p)
+	}
+	return binomialBTRS(r, n, p)
+}
+
+// binomialInversion samples by sequential search of the CDF from 0, using
+// the multiplicative pmf recurrence. Expected O(n*p + 1) iterations.
+func binomialInversion(r *prng.Random, n uint64, p float64) uint64 {
+	q := 1 - p
+	s := p / q
+	// f(0) = q^n; computed in log space to survive large n.
+	f := math.Exp(float64(n) * math.Log(q))
+	u := r.Float64()
+	var k uint64
+	for {
+		if u < f {
+			return k
+		}
+		u -= f
+		k++
+		if k > n {
+			// Float round-off exhausted the mass; clamp to the support.
+			return n
+		}
+		f *= s * float64(n-k+1) / float64(k)
+	}
+}
+
+// binomialBTRS samples with the transformed rejection method with squeeze
+// of Hörmann ("The generation of binomial random variates", 1993),
+// algorithm BTRS. Requires p <= 1/2 and n*p >= 10.
+func binomialBTRS(r *prng.Random, n uint64, p float64) uint64 {
+	nf := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(nf * p * q)
+
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor(float64(n+1) * p) // mode
+	h := lgammaf(m+1) + lgammaf(nf-m+1)
+
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + c)
+		if kf < 0 || kf > nf {
+			continue
+		}
+		k := kf
+		if us >= 0.07 && v <= vr {
+			return uint64(k)
+		}
+		// Acceptance test in log space against the exact pmf ratio.
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		if v <= h-lgammaf(k+1)-lgammaf(nf-k+1)+(k-m)*lpq {
+			return uint64(k)
+		}
+	}
+}
+
+func lgammaf(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// hruaSampleCutoff is the effective sample size below which the O(mean)
+// chop-down inversion replaces the O(1) HRUA rejection sampler.
+const hruaSampleCutoff = 10
+
+// Hypergeometric returns the number of "good" items in a sample of k items
+// drawn without replacement from a universe of `total` items of which
+// `good` are good. Large samples use the HRUA ratio-of-uniforms rejection
+// algorithm of Stadlober (the variant popularized by numpy); tiny samples
+// fall back to chop-down inversion from the lower support bound.
+func Hypergeometric(r *prng.Random, total, good, k uint64) uint64 {
+	if k == 0 || good == 0 {
+		return 0
+	}
+	if k >= total {
+		return good
+	}
+	if good >= total {
+		return k
+	}
+	m := k
+	if total-k < m {
+		m = total - k
+	}
+	if m > hruaSampleCutoff {
+		return hypergeometricHRUA(r, total, good, k)
+	}
+	return hypergeometricInversion(r, total, good, k)
+}
+
+// hypergeometricInversion samples by sequential search of the CDF from the
+// lower support bound with the multiplicative pmf recurrence.
+func hypergeometricInversion(r *prng.Random, total, good, k uint64) uint64 {
+	tf, gf, kf := float64(total), float64(good), float64(k)
+	lo := uint64(0)
+	if k+good > total {
+		lo = k + good - total
+	}
+	hi := good
+	if k < good {
+		hi = k
+	}
+	lpmf := func(x float64) float64 {
+		return lgammaf(gf+1) - lgammaf(x+1) - lgammaf(gf-x+1) +
+			lgammaf(tf-gf+1) - lgammaf(kf-x+1) - lgammaf(tf-gf-kf+x+1) -
+			(lgammaf(tf+1) - lgammaf(kf+1) - lgammaf(tf-kf+1))
+	}
+	f := math.Exp(lpmf(float64(lo)))
+	u := r.Float64()
+	x := lo
+	for {
+		if u < f {
+			return x
+		}
+		u -= f
+		if x >= hi {
+			// Float round-off exhausted the mass; clamp to the support.
+			return hi
+		}
+		// pmf(x+1)/pmf(x)
+		xf := float64(x)
+		f *= (gf - xf) * (kf - xf) / ((xf + 1) * (tf - gf - kf + xf + 1))
+		x++
+	}
+}
+
+// hypergeometricHRUA samples with Stadlober's HRUA ratio-of-uniforms
+// rejection: candidates w = d6 + d8*(y-0.5)/x are accepted by a squeeze,
+// then an exact log-pmf comparison. The symmetry reductions at entry and
+// exit keep the worked distribution in its well-conditioned quadrant.
+func hypergeometricHRUA(r *prng.Random, total, good, k uint64) uint64 {
+	const d1 = 1.7155277699214135 // 2*sqrt(2/e)
+	const d2 = 0.8989161620588988 // 3 - 2*sqrt(3/e)
+	tf := float64(total)
+	bad := total - good
+	mingb := good
+	if bad < mingb {
+		mingb = bad
+	}
+	maxgb := total - mingb
+	m := k
+	if total-k < m {
+		m = total - k
+	}
+	mf, mingbf, maxgbf := float64(m), float64(mingb), float64(maxgb)
+	kf := float64(k)
+	d4 := mingbf / tf
+	d5 := 1 - d4
+	d6 := mf*d4 + 0.5
+	d7 := math.Sqrt((tf-mf)*kf*d4*d5/(tf-1) + 0.5)
+	d8 := d1*d7 + d2
+	d9 := math.Floor((mf + 1) * (mingbf + 1) / (tf + 2)) // mode
+	d10 := lgammaf(d9+1) + lgammaf(mingbf-d9+1) + lgammaf(mf-d9+1) + lgammaf(maxgbf-mf+d9+1)
+	d11 := math.Min(math.Min(mf, mingbf)+1, math.Floor(d6+16*d7))
+	var z float64
+	for {
+		x := r.Float64()
+		y := r.Float64()
+		if x == 0 {
+			continue // w would be NaN/Inf; keep the stream moving
+		}
+		w := d6 + d8*(y-0.5)/x
+		if w < 0 || w >= d11 {
+			continue
+		}
+		z = math.Floor(w)
+		t := d10 - (lgammaf(z+1) + lgammaf(mingbf-z+1) + lgammaf(mf-z+1) + lgammaf(maxgbf-mf+z+1))
+		if x*(4-x)-3 <= t {
+			break
+		}
+		if x*(x-t) >= 1 {
+			continue
+		}
+		if 2*math.Log(x) <= t {
+			break
+		}
+	}
+	zi := uint64(z)
+	if good > bad {
+		zi = m - zi
+	}
+	if m < k {
+		zi = good - zi
+	}
+	return zi
+}
+
+// Multinomial distributes n items over len(masses) categories with
+// probabilities proportional to masses, by sequential conditional
+// binomials. The draw order (category 0 first) is part of the instance
+// definition.
+func Multinomial(r *prng.Random, n uint64, masses []float64) []uint64 {
+	out := make([]uint64, len(masses))
+	var totalMass float64
+	for _, m := range masses {
+		totalMass += m
+	}
+	remaining := n
+	for i, m := range masses {
+		if remaining == 0 || totalMass <= 0 {
+			break
+		}
+		if i == len(masses)-1 {
+			out[i] = remaining
+			break
+		}
+		frac := m / totalMass
+		if frac > 1 {
+			frac = 1
+		}
+		c := Binomial(r, remaining, frac)
+		out[i] = c
+		remaining -= c
+		totalMass -= m
+	}
+	return out
+}
+
+// GeometricSkip returns the number of failures before the next success of
+// a Bernoulli(p) sequence — the gap of Batagelj–Brandes style skip
+// sampling. p must be in (0, 1]; p >= 1 always returns 0.
+func GeometricSkip(r *prng.Random, p float64) uint64 {
+	if p >= 1 {
+		return 0
+	}
+	u := r.Float64Open()
+	skip := math.Floor(math.Log(u) / math.Log1p(-p))
+	if skip < 0 {
+		return 0
+	}
+	if skip >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(skip)
+}

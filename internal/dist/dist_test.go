@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n uint64
+		p float64
+	}{
+		{100, 0.3},      // inversion
+		{1 << 16, 0.01}, // BTRS (np ~ 655)
+		{1 << 20, 0.5},  // BTRS, symmetric
+		{50, 0.9},       // symmetry reduction
+	}
+	for _, c := range cases {
+		r := prng.NewFromRaw(42)
+		const samples = 20000
+		var sum, sum2 float64
+		for i := 0; i < samples; i++ {
+			k := Binomial(r, c.n, c.p)
+			if k > c.n {
+				t.Fatalf("Binomial(%d, %v) = %d out of range", c.n, c.p, k)
+			}
+			kf := float64(k)
+			sum += kf
+			sum2 += kf * kf
+		}
+		mean := sum / samples
+		variance := sum2/samples - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		sd := math.Sqrt(wantVar)
+		if math.Abs(mean-wantMean) > 5*sd/math.Sqrt(samples)+1e-9 {
+			t.Errorf("Binomial(%d, %v): mean %v, want %v", c.n, c.p, mean, wantMean)
+		}
+		if wantVar > 0 && math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("Binomial(%d, %v): variance %v, want %v", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := prng.NewFromRaw(1)
+	if got := Binomial(r, 0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := Binomial(r, 100, 0); got != 0 {
+		t.Errorf("Binomial(100, 0) = %d", got)
+	}
+	if got := Binomial(r, 100, 1); got != 100 {
+		t.Errorf("Binomial(100, 1) = %d", got)
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	cases := []struct {
+		total, good, k uint64
+	}{
+		{1000, 300, 100},
+		{1 << 20, 1 << 10, 1 << 15},
+		{100, 90, 50}, // symmetry reduction (good > total/2)
+		{100, 30, 80}, // symmetry reduction (k > total/2)
+	}
+	for _, c := range cases {
+		r := prng.NewFromRaw(7)
+		const samples = 20000
+		var sum, sum2 float64
+		lo := uint64(0)
+		if c.k+c.good > c.total {
+			lo = c.k + c.good - c.total
+		}
+		hi := c.good
+		if c.k < hi {
+			hi = c.k
+		}
+		for i := 0; i < samples; i++ {
+			x := Hypergeometric(r, c.total, c.good, c.k)
+			if x < lo || x > hi {
+				t.Fatalf("Hypergeometric(%d,%d,%d) = %d outside [%d,%d]",
+					c.total, c.good, c.k, x, lo, hi)
+			}
+			xf := float64(x)
+			sum += xf
+			sum2 += xf * xf
+		}
+		tf, gf, kf := float64(c.total), float64(c.good), float64(c.k)
+		wantMean := kf * gf / tf
+		wantVar := wantMean * (tf - gf) / tf * (tf - kf) / (tf - 1)
+		mean := sum / samples
+		variance := sum2/samples - mean*mean
+		if math.Abs(mean-wantMean) > 5*math.Sqrt(wantVar/samples)+1e-9 {
+			t.Errorf("Hypergeometric(%d,%d,%d): mean %v, want %v",
+				c.total, c.good, c.k, mean, wantMean)
+		}
+		if wantVar > 1 && math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("Hypergeometric(%d,%d,%d): variance %v, want %v",
+				c.total, c.good, c.k, variance, wantVar)
+		}
+	}
+}
+
+func TestHypergeometricEdgeCases(t *testing.T) {
+	r := prng.NewFromRaw(1)
+	if got := Hypergeometric(r, 100, 40, 0); got != 0 {
+		t.Errorf("k=0: got %d", got)
+	}
+	if got := Hypergeometric(r, 100, 0, 40); got != 0 {
+		t.Errorf("good=0: got %d", got)
+	}
+	if got := Hypergeometric(r, 100, 40, 100); got != 40 {
+		t.Errorf("k=total: got %d", got)
+	}
+	if got := Hypergeometric(r, 100, 100, 40); got != 40 {
+		t.Errorf("good=total: got %d", got)
+	}
+}
+
+func TestMultinomialSumsAndMoments(t *testing.T) {
+	masses := []float64{0.5, 0.25, 0.125, 0.125}
+	const n = 10000
+	r := prng.NewFromRaw(3)
+	const samples = 2000
+	sums := make([]float64, len(masses))
+	for i := 0; i < samples; i++ {
+		counts := Multinomial(r, n, masses)
+		var total uint64
+		for j, c := range counts {
+			total += c
+			sums[j] += float64(c)
+		}
+		if total != n {
+			t.Fatalf("Multinomial counts sum to %d, want %d", total, n)
+		}
+	}
+	for j, m := range masses {
+		mean := sums[j] / samples
+		want := float64(n) * m
+		sd := math.Sqrt(want * (1 - m))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(samples)+1e-9 {
+			t.Errorf("category %d: mean %v, want %v", j, mean, want)
+		}
+	}
+}
+
+func TestGeometricSkipMoments(t *testing.T) {
+	const p = 0.01
+	r := prng.NewFromRaw(9)
+	const samples = 50000
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += float64(GeometricSkip(r, p))
+	}
+	mean := sum / samples
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.05*want {
+		t.Errorf("GeometricSkip mean %v, want %v", mean, want)
+	}
+	if got := GeometricSkip(r, 1); got != 0 {
+		t.Errorf("GeometricSkip(p=1) = %d", got)
+	}
+}
+
+// TestDeterminism: identical streams must yield identical draws — the
+// property every communication-free generator relies on.
+func TestDeterminism(t *testing.T) {
+	draw := func() [4]uint64 {
+		r := prng.New(123, 0x99, 7)
+		return [4]uint64{
+			Binomial(r, 1<<20, 0.37),
+			Hypergeometric(r, 1<<20, 1<<15, 1<<12),
+			Multinomial(r, 1000, []float64{1, 2, 3})[1],
+			GeometricSkip(r, 0.001),
+		}
+	}
+	a, b := draw(), draw()
+	if a != b {
+		t.Fatalf("non-deterministic draws: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,109 @@
+package pe
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Stream executes produce(pe, emit) for every pe in [0, P) on a bounded
+// worker pool and hands each PE's emitted items to consume — exactly once
+// per PE, in increasing PE order, regardless of the worker count or the
+// completion order. It is the parallel streaming runtime: generation runs
+// concurrently into per-worker buffers while the sink observes the same
+// deterministic sequence a serial run would produce.
+//
+// At most 2*workers chunks are admitted beyond the delivery head, so the
+// buffered item count is bounded by the window times the largest chunk —
+// the whole output is never materialized at once.
+//
+// consume runs on whichever worker completes the head chunk; calls never
+// overlap. The first error returned by consume stops the run: no further
+// chunks are started or delivered, and the error is returned. A PE whose
+// produce is already running completes into its buffer, which is then
+// discarded.
+func Stream[T any](P, workers int, produce func(pe int, emit func(T)), consume func(pe int, chunk []T) error) error {
+	if P <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > P {
+		workers = P
+	}
+	if workers <= 1 {
+		for i := 0; i < P; i++ {
+			var buf []T
+			produce(i, func(item T) { buf = append(buf, item) })
+			if err := consume(i, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu         sync.Mutex
+		cond       = sync.NewCond(&mu)
+		next, head int
+		pending    = make(map[int][]T)
+		delivering bool
+		firstErr   error
+	)
+	window := 2 * workers
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for firstErr == nil && next < P && next >= head+window {
+					cond.Wait()
+				}
+				if firstErr != nil || next >= P {
+					mu.Unlock()
+					return
+				}
+				pe := next
+				next++
+				mu.Unlock()
+
+				var buf []T
+				produce(pe, func(item T) { buf = append(buf, item) })
+
+				mu.Lock()
+				if firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				pending[pe] = buf
+				// Drain every pending chunk at the delivery head. Only one
+				// worker delivers at a time; the mutex is released around
+				// the sink call so other workers keep generating.
+				for firstErr == nil && !delivering {
+					chunk, ok := pending[head]
+					if !ok {
+						break
+					}
+					delete(pending, head)
+					h := head
+					delivering = true
+					mu.Unlock()
+					err := consume(h, chunk)
+					mu.Lock()
+					delivering = false
+					head++
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,109 @@
+package pe
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// produceSquares emits pe*itemsPer..(pe+1)*itemsPer-1 for each PE, with a
+// random delay so completion order differs from PE order.
+func produceSquares(itemsPer int, jitter bool) func(pe int, emit func(int)) {
+	return func(pe int, emit func(int)) {
+		if jitter {
+			time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+		}
+		for i := 0; i < itemsPer; i++ {
+			emit(pe*itemsPer + i)
+		}
+	}
+}
+
+func collectStream(t *testing.T, P, workers, itemsPer int, jitter bool) []int {
+	t.Helper()
+	var got []int
+	lastPE := -1
+	err := Stream(P, workers, produceSquares(itemsPer, jitter), func(pe int, chunk []int) error {
+		if pe != lastPE+1 {
+			t.Fatalf("chunk for PE %d delivered after PE %d", pe, lastPE)
+		}
+		lastPE = pe
+		got = append(got, chunk...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastPE != P-1 {
+		t.Fatalf("last delivered PE %d, want %d", lastPE, P-1)
+	}
+	return got
+}
+
+func TestStreamOrderAndWorkerInvariance(t *testing.T) {
+	const P, itemsPer = 32, 100
+	want := collectStream(t, P, 1, itemsPer, false)
+	for _, workers := range []int{2, 4, 16, 64} {
+		got := collectStream(t, P, workers, itemsPer, true)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d items, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: item %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamEmptyChunks(t *testing.T) {
+	calls := 0
+	err := Stream(8, 4, func(pe int, emit func(int)) {
+		if pe%2 == 0 {
+			emit(pe)
+		}
+	}, func(pe int, chunk []int) error {
+		calls++
+		if pe%2 == 1 && len(chunk) != 0 {
+			t.Errorf("PE %d: expected empty chunk, got %d items", pe, len(chunk))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Fatalf("consume called %d times, want 8", calls)
+	}
+}
+
+func TestStreamErrorStopsRun(t *testing.T) {
+	sentinel := errors.New("sink full")
+	for _, workers := range []int{1, 4} {
+		delivered := 0
+		err := Stream(64, workers, produceSquares(10, false), func(pe int, chunk []int) error {
+			if pe == 3 {
+				return fmt.Errorf("pe %d: %w", pe, sentinel)
+			}
+			delivered++
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if delivered != 3 {
+			t.Fatalf("workers=%d: %d chunks delivered before error, want 3", workers, delivered)
+		}
+	}
+}
+
+func TestStreamZeroPEs(t *testing.T) {
+	if err := Stream(0, 4, func(int, func(int)) {}, func(int, []int) error {
+		t.Fatal("consume called for P=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

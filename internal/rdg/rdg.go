@@ -72,14 +72,28 @@ func Generate(p Params, workers int) (*graph.EdgeList, error) {
 // the Delaunay triangulation of the chunk plus an adaptively grown halo
 // and emits the triangulation edges incident to chunk-owned points.
 func GenerateChunk(p Params, peID uint64) core.Result {
+	res := core.Result{PE: int(peID)}
+	res.RedundantVertices, res.Comparisons = StreamChunk(p, peID, func(e graph.Edge) {
+		res.Edges = append(res.Edges, e)
+	})
+	return res
+}
+
+// StreamChunk emits the chunk's simplex-derived edges through the callback
+// in the exact deterministic order of GenerateChunk. Each of the PE's
+// chunks is triangulated in turn and its edges are emitted before the next
+// chunk's triangulation is built, so at most one triangulation (chunk +
+// converged halo) is alive at a time. It returns the redundant-vertex and
+// halo-expansion counters of the chunk.
+func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertices, comparisons uint64) {
 	g := p.grid()
 	acc := rgg.NewCellAccess(g)
 	res := core.Result{PE: int(peID)}
 	lo, hi := g.ChunkRange(peID)
 	for chunk := lo; chunk < hi; chunk++ {
-		triangulateChunk(p, g, acc, chunk, &res)
+		triangulateChunk(p, g, acc, chunk, &res, emit)
 	}
-	return res
+	return res.RedundantVertices, res.Comparisons
 }
 
 // wrappedCell materializes the cell at (possibly out-of-range) global cell
@@ -115,7 +129,7 @@ func wrappedCell(g *rgg.Grid, acc *rgg.CellAccess, coord [3]int64, dim int) []ge
 	return out
 }
 
-func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, res *core.Result) {
+func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, res *core.Result, emit func(graph.Edge)) {
 	dim := p.Dim
 	// Chunk cell bounding box in global cell coordinates.
 	first := g.ChunkCellCoord(chunk, 0)
@@ -290,31 +304,31 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	// bounding vertices are never part of the converged region.
 	type pair struct{ u, v uint64 }
 	seen := make(map[pair]bool)
-	emit := func(a, b int32) {
+	emitPair := func(a, b int32) {
 		u, v := idOf[a], idOf[b]
 		if u == v {
 			return // an edge between a point and its own periodic copy
 		}
 		if isInt[a] && !seen[pair{u, v}] {
 			seen[pair{u, v}] = true
-			res.Edges = append(res.Edges, graph.Edge{U: u, V: v})
+			emit(graph.Edge{U: u, V: v})
 		}
 		if isInt[b] && !seen[pair{v, u}] {
 			seen[pair{v, u}] = true
-			res.Edges = append(res.Edges, graph.Edge{U: v, V: u})
+			emit(graph.Edge{U: v, V: u})
 		}
 	}
 	if dim == 2 {
 		t2.Triangles(func(v0, v1, v2 int32) {
-			emit(v0, v1)
-			emit(v1, v2)
-			emit(v0, v2)
+			emitPair(v0, v1)
+			emitPair(v1, v2)
+			emitPair(v0, v2)
 		})
 	} else {
 		t3.Tetrahedra(func(v [4]int32) {
 			for i := 0; i < 4; i++ {
 				for j := i + 1; j < 4; j++ {
-					emit(v[i], v[j])
+					emitPair(v[i], v[j])
 				}
 			}
 		})

@@ -74,9 +74,21 @@ func Generate(p Params, workers int) (*graph.EdgeList, error) {
 // chunks plus the ghost cells of neighbouring chunks and emits all edges
 // incident to its local vertices.
 func GenerateChunk(p Params, peID uint64) core.Result {
+	res := core.Result{PE: int(peID)}
+	res.RedundantVertices, res.Comparisons = StreamChunk(p, peID, func(e graph.Edge) {
+		res.Edges = append(res.Edges, e)
+	})
+	return res
+}
+
+// StreamChunk emits the chunk's edges through the callback in the exact
+// deterministic order of GenerateChunk, cell by cell, without
+// materializing the chunk edge list — only the grid-cell context (the
+// memoized points of visited cells) is held in memory. It returns the
+// redundant-vertex and comparison counters of the chunk.
+func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertices, comparisons uint64) {
 	g := p.grid()
 	acc := NewCellAccess(g)
-	res := core.Result{PE: int(peID)}
 	lo, hi := g.ChunkRange(peID)
 
 	layers := int64(math.Ceil(p.R / g.CellSide))
@@ -115,9 +127,9 @@ func GenerateChunk(p Params, peID uint64) core.Result {
 						if same && i == j {
 							continue
 						}
-						res.Comparisons++
+						comparisons++
 						if geometry.Dist2(p.Dim, own[i].X, pts[j].X) <= r2 {
-							res.Edges = append(res.Edges, graph.Edge{U: own[i].ID, V: pts[j].ID})
+							emit(graph.Edge{U: own[i].ID, V: pts[j].ID})
 						}
 					}
 				}
@@ -139,9 +151,9 @@ func GenerateChunk(p Params, peID uint64) core.Result {
 		}
 	}
 	for chunk := range counted {
-		res.RedundantVertices += acc.ChunkTotal(chunk)
+		redundantVertices += acc.ChunkTotal(chunk)
 	}
-	return res
+	return redundantVertices, comparisons
 }
 
 // Points returns all generated vertex positions in ID order. Used by

@@ -1,7 +1,13 @@
 package kagen
 
 import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strconv"
 
 	"repro/internal/graph"
 )
@@ -31,4 +37,194 @@ func ReadEdgeListBinary(r io.Reader) (*EdgeList, error) {
 // output convention of the undirected generators).
 func WriteMetis(w io.Writer, e *EdgeList) error {
 	return graph.WriteMetis(w, e)
+}
+
+// --- streaming sinks ---
+
+// Sink consumes the edge stream of a Streamer run driven by Stream:
+// Begin once, then exactly one Chunk call per PE in increasing PE order,
+// then Close. The chunk slice is only valid during the call.
+type Sink interface {
+	// Begin announces the instance: n vertices, pes logical PEs.
+	Begin(n, pes uint64) error
+	// Chunk delivers the complete local edge list of one PE.
+	Chunk(pe uint64, edges []Edge) error
+	// Close flushes and releases the sink. It is called exactly once,
+	// also after an aborted run.
+	Close() error
+}
+
+// TextSink streams edges as one "u v" line per edge behind a "# n" header
+// line. The edge count is not part of the header (it is unknown until the
+// stream ends); ReadEdgeListText accepts the format regardless.
+type TextSink struct {
+	bw *bufio.Writer
+}
+
+// NewTextSink returns a Sink writing the text edge-list format to w.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Begin writes the header line.
+func (s *TextSink) Begin(n, pes uint64) error {
+	_, err := fmt.Fprintf(s.bw, "# %d\n", n)
+	return err
+}
+
+// Chunk writes one line per edge.
+func (s *TextSink) Chunk(pe uint64, edges []Edge) error {
+	for _, e := range edges {
+		s.bw.WriteString(strconv.FormatUint(e.U, 10))
+		s.bw.WriteByte(' ')
+		s.bw.WriteString(strconv.FormatUint(e.V, 10))
+		if err := s.bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes the buffered output.
+func (s *TextSink) Close() error { return s.bw.Flush() }
+
+// BinarySink streams the little-endian binary edge-list format of
+// WriteEdgeListBinary: n, m, then m (u, v) pairs. Because m is unknown
+// until the stream ends, the writer must be an io.WriteSeeker (for
+// example an *os.File): a placeholder edge count is written at Begin and
+// patched at Close.
+type BinarySink struct {
+	ws    io.WriteSeeker
+	bw    *bufio.Writer
+	count uint64
+}
+
+// NewBinarySink returns a Sink writing the binary edge-list format to ws.
+func NewBinarySink(ws io.WriteSeeker) *BinarySink {
+	return &BinarySink{ws: ws, bw: bufio.NewWriterSize(ws, 1<<20)}
+}
+
+// Begin writes the header with a placeholder edge count.
+func (s *BinarySink) Begin(n, pes uint64) error {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], n)
+	binary.LittleEndian.PutUint64(buf[8:], 0) // patched at Close
+	_, err := s.bw.Write(buf[:])
+	return err
+}
+
+// Chunk writes the edges as little-endian pairs.
+func (s *BinarySink) Chunk(pe uint64, edges []Edge) error {
+	var buf [16]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint64(buf[0:], e.U)
+		binary.LittleEndian.PutUint64(buf[8:], e.V)
+		if _, err := s.bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	s.count += uint64(len(edges))
+	return nil
+}
+
+// Close flushes the stream and patches the edge count into the header.
+func (s *BinarySink) Close() error {
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := s.ws.Seek(8, io.SeekStart); err != nil {
+		return fmt.Errorf("kagen: binary sink cannot patch edge count: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], s.count)
+	if _, err := s.ws.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := s.ws.Seek(0, io.SeekEnd)
+	return err
+}
+
+// ShardedSink writes one self-contained edge-list file per PE into a
+// directory: <prefix>-pe<id>.<txt|bin>, each readable with
+// ReadEdgeListText / ReadEdgeListBinary and carrying the global vertex
+// count — the per-PE partitioned output a distributed consumer expects.
+type ShardedSink struct {
+	dir    string
+	prefix string
+	binary bool
+	n      uint64
+	pes    uint64
+}
+
+// NewShardedSink returns a Sink writing per-PE shard files into dir,
+// creating it if necessary. binary selects the binary edge-list format.
+func NewShardedSink(dir, prefix string, binary bool) *ShardedSink {
+	return &ShardedSink{dir: dir, prefix: prefix, binary: binary}
+}
+
+// ShardPath returns the file path of one PE's shard.
+func (s *ShardedSink) ShardPath(pe uint64) string {
+	ext := "txt"
+	if s.binary {
+		ext = "bin"
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s-pe%05d.%s", s.prefix, pe, ext))
+}
+
+// Begin creates the shard directory.
+func (s *ShardedSink) Begin(n, pes uint64) error {
+	s.n, s.pes = n, pes
+	return os.MkdirAll(s.dir, 0o755)
+}
+
+// Chunk writes one complete shard file. The chunk edge count is known
+// here, so shards use the standard writers, full headers included.
+func (s *ShardedSink) Chunk(pe uint64, edges []Edge) error {
+	f, err := os.Create(s.ShardPath(pe))
+	if err != nil {
+		return err
+	}
+	el := &EdgeList{N: s.n, Edges: edges}
+	if s.binary {
+		err = WriteEdgeListBinary(f, el)
+	} else {
+		err = WriteEdgeListText(f, el)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close is a no-op: every shard is already complete.
+func (s *ShardedSink) Close() error { return nil }
+
+// ReadShardedEdgeList reads the shard files written by a ShardedSink with
+// the given directory, prefix and format, and merges them in PE order.
+func ReadShardedEdgeList(dir, prefix string, binary bool, pes uint64) (*EdgeList, error) {
+	s := ShardedSink{dir: dir, prefix: prefix, binary: binary}
+	merged := &EdgeList{}
+	for pe := uint64(0); pe < pes; pe++ {
+		f, err := os.Open(s.ShardPath(pe))
+		if err != nil {
+			return nil, err
+		}
+		var el *EdgeList
+		if binary {
+			el, err = ReadEdgeListBinary(f)
+		} else {
+			el, err = ReadEdgeListText(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if el.N > merged.N {
+			merged.N = el.N
+		}
+		merged.Edges = append(merged.Edges, el.Edges...)
+	}
+	return merged, nil
 }

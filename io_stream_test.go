@@ -1,0 +1,189 @@
+package kagen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// streamRoundTripCases: one sampling-stream model and two spatial models
+// cover the three streamer families.
+func streamRoundTripCases(t *testing.T) []struct {
+	name string
+	s    Streamer
+	gen  Generator
+} {
+	t.Helper()
+	opt := Options{Seed: 21, PEs: 4}
+	return []struct {
+		name string
+		s    Streamer
+		gen  Generator
+	}{
+		{"gnm", NewGNMStreamer(500, 3000, opt), NewGNM(500, 3000, true, opt)},
+		{"rgg2d", NewRGGStreamer(400, 0.08, 2, opt), NewRGG(400, 0.08, 2, opt)},
+		{"srhg", NewSRHGStreamer(400, 8, 2.8, opt), NewSRHG(400, 8, 2.8, opt)},
+	}
+}
+
+func requireSameList(t *testing.T, name string, got, want *EdgeList) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: n = %d, want %d", name, got.N, want.N)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d edges, want %d", name, got.Len(), want.Len())
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("%s: edge %d = %v, want %v", name, i, got.Edges[i], want.Edges[i])
+		}
+	}
+}
+
+// TestTextSinkRoundTrip: pe.Stream → text sink → reader equals Generate.
+func TestTextSinkRoundTrip(t *testing.T) {
+	for _, c := range streamRoundTripCases(t) {
+		want, err := c.gen.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "edges.txt")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Stream(c.s, 3, NewTextSink(f)); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEdgeListText(rf)
+		rf.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		requireSameList(t, c.name, got, want)
+	}
+}
+
+// TestBinarySinkRoundTrip: the binary sink must also patch the edge count
+// into the header at Close.
+func TestBinarySinkRoundTrip(t *testing.T) {
+	for _, c := range streamRoundTripCases(t) {
+		want, err := c.gen.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "edges.bin")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Stream(c.s, 3, NewBinarySink(f)); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEdgeListBinary(rf)
+		rf.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		requireSameList(t, c.name, got, want)
+	}
+}
+
+// TestShardedSinkRoundTrip: per-PE shard files merged in PE order equal
+// Generate, in both shard formats, and each shard equals its Chunk.
+func TestShardedSinkRoundTrip(t *testing.T) {
+	for _, c := range streamRoundTripCases(t) {
+		want, err := c.gen.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, binary := range []bool{false, true} {
+			dir := t.TempDir()
+			sink := NewShardedSink(dir, c.name, binary)
+			if err := Stream(c.s, 3, sink); err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			got, err := ReadShardedEdgeList(dir, c.name, binary, c.s.PEs())
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			requireSameList(t, c.name, got, want)
+
+			// Spot-check one shard against its chunk.
+			pe := c.s.PEs() - 1
+			chunk, err := c.gen.Chunk(pe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(sink.ShardPath(pe))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var shard *EdgeList
+			if binary {
+				shard, err = ReadEdgeListBinary(f)
+			} else {
+				shard, err = ReadEdgeListText(f)
+			}
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shard.Len() != len(chunk) {
+				t.Fatalf("%s: shard %d has %d edges, chunk has %d",
+					c.name, pe, shard.Len(), len(chunk))
+			}
+			for i := range chunk {
+				if shard.Edges[i] != chunk[i] {
+					t.Fatalf("%s: shard %d edge %d differs", c.name, pe, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamSinkErrorPropagates: a failing sink aborts the run and the
+// error surfaces through Stream.
+func TestStreamSinkErrorPropagates(t *testing.T) {
+	s := NewGNMStreamer(500, 3000, Options{Seed: 1, PEs: 4})
+	sink := &failingSink{failAt: 2}
+	err := Stream(s, 2, sink)
+	if err == nil {
+		t.Fatal("sink error did not surface")
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed after error")
+	}
+}
+
+type failingSink struct {
+	failAt uint64
+	closed bool
+}
+
+func (f *failingSink) Begin(n, pes uint64) error { return nil }
+func (f *failingSink) Chunk(pe uint64, e []Edge) error {
+	if pe == f.failAt {
+		return os.ErrInvalid
+	}
+	return nil
+}
+func (f *failingSink) Close() error {
+	f.closed = true
+	return nil
+}

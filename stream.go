@@ -2,27 +2,81 @@ package kagen
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ba"
 	"repro/internal/gnm"
 	"repro/internal/gnp"
+	"repro/internal/graph"
+	"repro/internal/pe"
+	"repro/internal/rdg"
+	"repro/internal/rgg"
 	"repro/internal/rmat"
+	"repro/internal/srhg"
 )
 
 // Streamer generates a chunk's edges through a callback without
 // materializing them, enabling generation of graphs larger than memory —
 // the "full streaming approach" the paper names as the way past the
 // per-core memory limit of its experiments (§8.2, §9). The edge order
-// within a chunk is deterministic.
+// within a chunk is deterministic and identical to the corresponding
+// Generator's Chunk output.
 //
-// Streaming is available for the models whose chunks are pure sampling
-// streams (G(n,m), G(n,p), BA, R-MAT); the spatial models need their cell
-// and annulus context materialized and expose only Chunk.
+// Every model streams except the undirected Erdős–Rényi variants, the
+// in-memory RHG and the SBM, which remain materialize-only (see
+// AsStreamer). The sampling-stream models (directed G(n,m)/G(n,p), BA,
+// R-MAT) emit edges straight from their per-chunk sample streams; the
+// spatial models (RGG, RDG) emit neighborhood edges cell by cell while
+// holding only their grid-cell context, and sRHG's annulus sweep emits
+// edges as node tokens meet active requests, holding only the sweep state.
+//
+// Use Stream to run all PEs of a Streamer on a worker pool and deliver the
+// chunks to a Sink in deterministic PE order.
 type Streamer interface {
 	// StreamChunk calls emit for every local edge of the logical PE.
 	StreamChunk(pe uint64, emit func(Edge)) error
 	// PEs returns the number of logical PEs.
 	PEs() uint64
+	// N returns the number of vertices of the instance.
+	N() uint64
+}
+
+// AsStreamer returns the streaming view of a registry Generator. It
+// reports false for the materialize-only models: the undirected
+// G(n,m)/G(n,p) variants (their triangular chunk pairs are buffered
+// internally), the in-memory RHG (superseded by sRHG for streaming) and
+// the SBM (its chunk matrix reuses the undirected G(n,p) construction).
+func AsStreamer(g Generator) (Streamer, bool) {
+	switch t := g.(type) {
+	case gnmGen:
+		if !t.p.Directed {
+			return nil, false
+		}
+		return gnmStreamer{t.p}, true
+	case gnpGen:
+		if !t.p.Directed {
+			return nil, false
+		}
+		return gnpStreamer{t.p}, true
+	case baGen:
+		return baStreamer{t.p}, true
+	case rmatGen:
+		return rmatStreamer{t.p}, true
+	case rggGen:
+		return rggStreamer{t.p}, true
+	case rdgGen:
+		return rdgStreamer{t.p}, true
+	case srhgGen:
+		return srhgStreamer{t.p}, true
+	}
+	return nil, false
+}
+
+func checkPE(pe, pes uint64) error {
+	if pe >= pes {
+		return fmt.Errorf("kagen: PE %d out of range [0, %d)", pe, pes)
+	}
+	return nil
 }
 
 // NewGNMStreamer returns a streaming directed G(n,m) generator.
@@ -35,13 +89,14 @@ func NewGNMStreamer(n, m uint64, opt Options) Streamer {
 type gnmStreamer struct{ p gnm.Params }
 
 func (g gnmStreamer) PEs() uint64 { return g.p.Chunks }
+func (g gnmStreamer) N() uint64   { return g.p.N }
 
 func (g gnmStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
 	if err := g.p.Validate(); err != nil {
 		return err
 	}
-	if pe >= g.p.Chunks {
-		return fmt.Errorf("kagen: PE %d out of range", pe)
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
 	}
 	gnm.StreamDirectedChunk(g.p, pe, emit)
 	return nil
@@ -55,13 +110,14 @@ func NewGNPStreamer(n uint64, p float64, opt Options) Streamer {
 type gnpStreamer struct{ p gnp.Params }
 
 func (g gnpStreamer) PEs() uint64 { return g.p.Chunks }
+func (g gnpStreamer) N() uint64   { return g.p.N }
 
 func (g gnpStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
 	if err := g.p.Validate(); err != nil {
 		return err
 	}
-	if pe >= g.p.Chunks {
-		return fmt.Errorf("kagen: PE %d out of range", pe)
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
 	}
 	gnp.StreamDirectedChunk(g.p, pe, emit)
 	return nil
@@ -75,13 +131,14 @@ func NewBAStreamer(n, d uint64, opt Options) Streamer {
 type baStreamer struct{ p ba.Params }
 
 func (g baStreamer) PEs() uint64 { return g.p.Chunks }
+func (g baStreamer) N() uint64   { return g.p.N }
 
 func (g baStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
 	if err := g.p.Validate(); err != nil {
 		return err
 	}
-	if pe >= g.p.Chunks {
-		return fmt.Errorf("kagen: PE %d out of range", pe)
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
 	}
 	ba.StreamChunk(g.p, pe, emit)
 	return nil
@@ -95,16 +152,125 @@ func NewRMATStreamer(scale uint, m uint64, opt Options) Streamer {
 type rmatStreamer struct{ p rmat.Params }
 
 func (g rmatStreamer) PEs() uint64 { return g.p.Chunks }
+func (g rmatStreamer) N() uint64   { return g.p.N() }
 
 func (g rmatStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
 	if err := g.p.Validate(); err != nil {
 		return err
 	}
-	if pe >= g.p.Chunks {
-		return fmt.Errorf("kagen: PE %d out of range", pe)
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
 	}
 	rmat.StreamChunk(g.p, pe, emit)
 	return nil
+}
+
+// NewRGGStreamer returns a streaming random geometric graph generator in
+// dim (2 or 3) dimensions: each PE emits its neighborhood edges cell by
+// cell, holding only the memoized points of visited grid cells.
+func NewRGGStreamer(n uint64, r float64, dim int, opt Options) Streamer {
+	return rggStreamer{rgg.Params{N: n, R: r, Dim: dim, Seed: opt.Seed, Chunks: opt.pes()}}
+}
+
+type rggStreamer struct{ p rgg.Params }
+
+func (g rggStreamer) PEs() uint64 { return g.p.Chunks }
+func (g rggStreamer) N() uint64   { return g.p.N }
+
+func (g rggStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
+	if err := g.p.Validate(); err != nil {
+		return err
+	}
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
+	}
+	rgg.StreamChunk(g.p, pe, emit)
+	return nil
+}
+
+// NewRDGStreamer returns a streaming random Delaunay graph generator in
+// dim (2 or 3) dimensions: each PE triangulates one chunk at a time and
+// emits the simplex-derived edges before the next chunk's triangulation
+// is built.
+func NewRDGStreamer(n uint64, dim int, opt Options) Streamer {
+	return rdgStreamer{rdg.Params{N: n, Dim: dim, Seed: opt.Seed, Chunks: opt.pes()}}
+}
+
+type rdgStreamer struct{ p rdg.Params }
+
+func (g rdgStreamer) PEs() uint64 { return g.p.Chunks }
+func (g rdgStreamer) N() uint64   { return g.p.N }
+
+func (g rdgStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
+	if err := g.p.Validate(); err != nil {
+		return err
+	}
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
+	}
+	rdg.StreamChunk(g.p, pe, emit)
+	return nil
+}
+
+// NewSRHGStreamer returns a streaming random hyperbolic graph generator:
+// the sRHG annulus sweep emits edges as soon as a node token meets an
+// active request, holding only the sweep state of the PE's sector.
+func NewSRHGStreamer(n uint64, avgDeg, gamma float64, opt Options) Streamer {
+	return srhgStreamer{srhg.Params{N: n, AvgDeg: avgDeg, Gamma: gamma, Seed: opt.Seed, Chunks: opt.pes()}}
+}
+
+type srhgStreamer struct{ p srhg.Params }
+
+func (g srhgStreamer) PEs() uint64 { return g.p.Chunks }
+func (g srhgStreamer) N() uint64   { return g.p.N }
+
+func (g srhgStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
+	if err := g.p.Validate(); err != nil {
+		return err
+	}
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
+	}
+	srhg.StreamChunk(g.p, pe, emit)
+	return nil
+}
+
+// Stream runs every PE of s concurrently on at most `workers` goroutines
+// (0 selects GOMAXPROCS) and writes the edge stream to sink: Begin once,
+// then one Chunk call per PE in increasing PE order — identical for every
+// worker count — then Close. Close is called even when a chunk or sink
+// error aborts the run; the first error is returned.
+func Stream(s Streamer, workers int, sink Sink) error {
+	P := s.PEs()
+	err := sink.Begin(s.N(), P)
+	if err == nil {
+		var mu sync.Mutex
+		var chunkErr error
+		err = pe.Stream(int(P), workers, func(peID int, emit func(graph.Edge)) {
+			if e := s.StreamChunk(uint64(peID), emit); e != nil {
+				mu.Lock()
+				if chunkErr == nil {
+					chunkErr = e
+				}
+				mu.Unlock()
+			}
+		}, func(peID int, chunk []graph.Edge) error {
+			mu.Lock()
+			e := chunkErr
+			mu.Unlock()
+			if e != nil {
+				return e // abort delivery once a chunk failed to generate
+			}
+			return sink.Chunk(uint64(peID), chunk)
+		})
+		if err == nil {
+			err = chunkErr
+		}
+	}
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Compile-time interface checks.
@@ -113,4 +279,7 @@ var (
 	_ Streamer = gnpStreamer{}
 	_ Streamer = baStreamer{}
 	_ Streamer = rmatStreamer{}
+	_ Streamer = rggStreamer{}
+	_ Streamer = rdgStreamer{}
+	_ Streamer = srhgStreamer{}
 )
