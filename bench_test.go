@@ -2,447 +2,62 @@ package kagen
 
 // One testing.B benchmark per figure of the paper's evaluation (§8),
 // scaled to laptop sizes, plus the ablation benches of DESIGN.md §7.
-// The full parameter sweeps that regenerate each figure's series live in
-// cmd/benchsuite; these benchmarks pin the per-configuration cost that
-// the sweeps are built from.
+// The benchmark bodies live in internal/benchreg so that cmd/benchsuite
+// can execute the identical code with testing.Benchmark and record the
+// ns/op, B/op and allocs/op trajectory in BENCH_kagen.json; the full
+// parameter sweeps that regenerate each figure's series also live in
+// cmd/benchsuite (internal/experiments).
 
 import (
-	"fmt"
 	"testing"
 
-	"repro/internal/baseline"
-	"repro/internal/dist"
-	"repro/internal/gnm"
-	"repro/internal/gnp"
-	"repro/internal/hyperbolic"
-	"repro/internal/prng"
-	"repro/internal/rdg"
-	"repro/internal/rgg"
-	"repro/internal/rhg"
-	"repro/internal/rmat"
-	"repro/internal/srhg"
+	"repro/internal/benchreg"
 )
 
 // --- Figure 6: sequential Erdős–Rényi, KaGen vs Batagelj–Brandes ---
 
-func BenchmarkFig06SeqGNM(b *testing.B) {
-	const n = 1 << 16
-	const m = 1 << 18
-	for _, directed := range []bool{true, false} {
-		name := "undirected"
-		if directed {
-			name = "directed"
-		}
-		b.Run("kagen/"+name, func(b *testing.B) {
-			p := gnm.Params{N: n, M: m, Directed: directed, Seed: 1, Chunks: 1}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				gnm.GenerateChunk(p, 0)
-			}
-		})
-		b.Run("batagelj-brandes/"+name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				baseline.GNMBatageljBrandes(n, m, directed, uint64(i))
-			}
-		})
-	}
-}
+func BenchmarkFig06SeqGNM(b *testing.B) { benchreg.Group(b, "Fig06SeqGNM") }
 
 // --- Figures 7/8: G(n,m) weak and strong scaling (per-PE chunk cost) ---
 
-func BenchmarkFig07WeakGNM(b *testing.B) {
-	const perPE = 1 << 16 // m/P
-	for _, P := range []uint64{1, 16, 256} {
-		for _, directed := range []bool{true, false} {
-			name := fmt.Sprintf("P=%d/directed=%v", P, directed)
-			b.Run(name, func(b *testing.B) {
-				m := perPE * P
-				p := gnm.Params{N: m / 16, M: m, Directed: directed, Seed: 1, Chunks: P}
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					gnm.GenerateChunk(p, P/2)
-				}
-			})
-		}
-	}
-}
-
-func BenchmarkFig08StrongGNM(b *testing.B) {
-	const m = 1 << 20
-	for _, P := range []uint64{4, 16, 64, 256} {
-		b.Run(fmt.Sprintf("P=%d", P), func(b *testing.B) {
-			p := gnm.Params{N: m / 16, M: m, Directed: true, Seed: 1, Chunks: P}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				gnm.GenerateChunk(p, P/2)
-			}
-		})
-	}
-}
+func BenchmarkFig07WeakGNM(b *testing.B)   { benchreg.Group(b, "Fig07WeakGNM") }
+func BenchmarkFig08StrongGNM(b *testing.B) { benchreg.Group(b, "Fig08StrongGNM") }
 
 // --- Figure 9: 2-D RGG, KaGen vs Holtgrewe et al. ---
 
-func BenchmarkFig09RGG2DComparison(b *testing.B) {
-	const perPE = 1 << 12
-	const P = 16
-	n := uint64(perPE * P)
-	r := rgg.ConnectivityRadius(n, 2) / 4 // sqrt(P) = 4
-	b.Run("kagen-chunk", func(b *testing.B) {
-		p := rgg.Params{N: n, R: r, Dim: 2, Seed: 1, Chunks: P}
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			rgg.GenerateChunk(p, P/2)
-		}
-	})
-	b.Run("holtgrewe-perPE", func(b *testing.B) {
-		// The baseline's computation per PE: its share of the sorted
-		// generation (measured over the full instance and divided).
-		pts := baseline.UniformPoints(n, 2, 1)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			baseline.RGGHoltgrewe(pts, r)
-		}
-	})
-}
+func BenchmarkFig09RGG2DComparison(b *testing.B) { benchreg.Group(b, "Fig09RGG2DComparison") }
 
 // --- Figures 10/11: RGG weak and strong scaling ---
 
-func BenchmarkFig10WeakRGG(b *testing.B) {
-	const perPE = 1 << 12
-	for _, dim := range []int{2, 3} {
-		for _, P := range []uint64{1, 16, 64} {
-			b.Run(fmt.Sprintf("dim=%d/P=%d", dim, P), func(b *testing.B) {
-				n := perPE * P
-				p := rgg.Params{N: n, Dim: dim, Seed: 1, Chunks: P}
-				p.R = rgg.ConnectivityRadius(n, dim)
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					rgg.GenerateChunk(p, P/2)
-				}
-			})
-		}
-	}
-}
-
-func BenchmarkFig11StrongRGG(b *testing.B) {
-	const n = 1 << 16
-	for _, dim := range []int{2, 3} {
-		for _, P := range []uint64{4, 16, 64} {
-			b.Run(fmt.Sprintf("dim=%d/P=%d", dim, P), func(b *testing.B) {
-				p := rgg.Params{N: n, Dim: dim, Seed: 1, Chunks: P}
-				p.R = rgg.ConnectivityRadius(n, dim)
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					rgg.GenerateChunk(p, P/2)
-				}
-			})
-		}
-	}
-}
+func BenchmarkFig10WeakRGG(b *testing.B)   { benchreg.Group(b, "Fig10WeakRGG") }
+func BenchmarkFig11StrongRGG(b *testing.B) { benchreg.Group(b, "Fig11StrongRGG") }
 
 // --- Figures 12/13: RDG weak and strong scaling ---
 
-func BenchmarkFig12WeakRDG(b *testing.B) {
-	const perPE = 1 << 10
-	for _, dim := range []int{2, 3} {
-		for _, P := range []uint64{1, 4, 16} {
-			b.Run(fmt.Sprintf("dim=%d/P=%d", dim, P), func(b *testing.B) {
-				p := rdg.Params{N: perPE * P, Dim: dim, Seed: 1, Chunks: P}
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					rdg.GenerateChunk(p, P/2)
-				}
-			})
-		}
-	}
-}
-
-func BenchmarkFig13StrongRDG(b *testing.B) {
-	const n = 1 << 14
-	for _, dim := range []int{2, 3} {
-		for _, P := range []uint64{4, 16, 64} {
-			b.Run(fmt.Sprintf("dim=%d/P=%d", dim, P), func(b *testing.B) {
-				p := rdg.Params{N: n, Dim: dim, Seed: 1, Chunks: P}
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					rdg.GenerateChunk(p, P/2)
-				}
-			})
-		}
-	}
-}
+func BenchmarkFig12WeakRDG(b *testing.B)   { benchreg.Group(b, "Fig12WeakRDG") }
+func BenchmarkFig13StrongRDG(b *testing.B) { benchreg.Group(b, "Fig13StrongRDG") }
 
 // --- Figure 14: shared-memory RHG race ---
 
-func BenchmarkFig14RHGRace(b *testing.B) {
-	const n = 1 << 14
-	const deg = 16
-	for _, gamma := range []float64{2.2, 3.0} {
-		b.Run(fmt.Sprintf("nkgen/gamma=%v", gamma), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				baseline.RHGNkGen(n, deg, gamma, uint64(i))
-			}
-		})
-		b.Run(fmt.Sprintf("rhg/gamma=%v", gamma), func(b *testing.B) {
-			p := rhg.Params{N: n, AvgDeg: deg, Gamma: gamma, Seed: 1, Chunks: 1}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				rhg.GenerateChunk(p, 0)
-			}
-		})
-		b.Run(fmt.Sprintf("srhg/gamma=%v", gamma), func(b *testing.B) {
-			p := srhg.Params{N: n, AvgDeg: deg, Gamma: gamma, Seed: 1, Chunks: 1}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				srhg.GenerateChunk(p, 0)
-			}
-		})
-	}
-}
+func BenchmarkFig14RHGRace(b *testing.B) { benchreg.Group(b, "Fig14RHGRace") }
 
 // --- Figures 15/16: RHG weak and strong scaling ---
 
-func BenchmarkFig15WeakRHG(b *testing.B) {
-	const perPE = 1 << 11
-	for _, P := range []uint64{1, 4, 16} {
-		b.Run(fmt.Sprintf("rhg/P=%d", P), func(b *testing.B) {
-			p := rhg.Params{N: perPE * P, AvgDeg: 16, Gamma: 3.0, Seed: 1, Chunks: P}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				rhg.GenerateChunk(p, P/2)
-			}
-		})
-		b.Run(fmt.Sprintf("srhg/P=%d", P), func(b *testing.B) {
-			p := srhg.Params{N: perPE * P, AvgDeg: 16, Gamma: 3.0, Seed: 1, Chunks: P}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				srhg.GenerateChunk(p, P/2)
-			}
-		})
-	}
-}
-
-func BenchmarkFig16StrongRHG(b *testing.B) {
-	const n = 1 << 14
-	for _, P := range []uint64{4, 16, 64} {
-		b.Run(fmt.Sprintf("rhg/P=%d", P), func(b *testing.B) {
-			p := rhg.Params{N: n, AvgDeg: 16, Gamma: 3.0, Seed: 1, Chunks: P}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				rhg.GenerateChunk(p, P/2)
-			}
-		})
-		b.Run(fmt.Sprintf("srhg/P=%d", P), func(b *testing.B) {
-			p := srhg.Params{N: n, AvgDeg: 16, Gamma: 3.0, Seed: 1, Chunks: P}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				srhg.GenerateChunk(p, P/2)
-			}
-		})
-	}
-}
+func BenchmarkFig15WeakRHG(b *testing.B)   { benchreg.Group(b, "Fig15WeakRHG") }
+func BenchmarkFig16StrongRHG(b *testing.B) { benchreg.Group(b, "Fig16StrongRHG") }
 
 // --- Figures 17/18: R-MAT weak and strong scaling ---
 
-func BenchmarkFig17WeakRMAT(b *testing.B) {
-	const perPE = 1 << 14
-	for _, P := range []uint64{1, 16, 256} {
-		b.Run(fmt.Sprintf("P=%d", P), func(b *testing.B) {
-			m := perPE * P
-			scale := uint(14)
-			for (uint64(1) << scale) < m/16 {
-				scale++
-			}
-			p := rmat.Params{Scale: scale, M: m, Seed: 1, Chunks: P}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				rmat.GenerateChunk(p, P/2)
-			}
-		})
-	}
-}
-
-func BenchmarkFig18StrongRMAT(b *testing.B) {
-	const m = 1 << 20
-	for _, P := range []uint64{4, 16, 64, 256} {
-		b.Run(fmt.Sprintf("P=%d", P), func(b *testing.B) {
-			p := rmat.Params{Scale: 16, M: m, Seed: 1, Chunks: P}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				rmat.GenerateChunk(p, P/2)
-			}
-		})
-	}
-}
+func BenchmarkFig17WeakRMAT(b *testing.B)   { benchreg.Group(b, "Fig17WeakRMAT") }
+func BenchmarkFig18StrongRMAT(b *testing.B) { benchreg.Group(b, "Fig18StrongRMAT") }
 
 // --- Ablations (DESIGN.md §7) ---
 
-// A1: binomial sampler inversion vs BTRS around the crossover.
-func BenchmarkAblationBinomial(b *testing.B) {
-	cases := []struct {
-		name string
-		n    uint64
-		p    float64
-	}{
-		{"inversion/np=5", 1 << 16, 5.0 / (1 << 16)},
-		{"btrs/np=50", 1 << 16, 50.0 / (1 << 16)},
-		{"btrs/np=5000", 1 << 20, 5000.0 / (1 << 20)},
-	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			r := prng.NewFromRaw(1)
-			for i := 0; i < b.N; i++ {
-				dist.Binomial(r, c.n, c.p)
-			}
-		})
-	}
-}
-
-// A2: RHG adjacency test with precomputed constants (Eq. 9) vs direct
-// hyperbolic distance (Eq. 4) — the optimization of §7.2.1.
-func BenchmarkAblationRHGTrig(b *testing.B) {
-	geo := hyperbolic.NewGeo(20, 0.75)
-	pts := make([]hyperbolic.Point, 256)
-	r := prng.NewFromRaw(3)
-	for i := range pts {
-		pts[i] = hyperbolic.MakePoint(uint64(i), r.Float64()*6.28, r.Float64()*20)
-	}
-	b.Run("precomputed", func(b *testing.B) {
-		acc := 0
-		for i := 0; i < b.N; i++ {
-			p := pts[i%256]
-			q := pts[(i*7+1)%256]
-			if geo.IsNeighbor(p, q) {
-				acc++
-			}
-		}
-		_ = acc
-	})
-	b.Run("direct", func(b *testing.B) {
-		acc := 0
-		for i := 0; i < b.N; i++ {
-			p := pts[i%256]
-			q := pts[(i*7+1)%256]
-			if hyperbolic.Distance(p.R, p.Theta, q.R, q.Theta) < 20 {
-				acc++
-			}
-		}
-		_ = acc
-	})
-}
-
-// A3: G(n,p) chunk sampling, binomial+Algorithm D vs geometric skips.
-func BenchmarkAblationGNPSkip(b *testing.B) {
-	base := gnp.Params{N: 1 << 16, P: 1.0 / (1 << 10), Directed: true, Seed: 1, Chunks: 16}
-	b.Run("binomial+vitter", func(b *testing.B) {
-		p := base
-		for i := 0; i < b.N; i++ {
-			gnp.GenerateChunk(p, 7)
-		}
-	})
-	b.Run("geometric-skip", func(b *testing.B) {
-		p := base
-		p.SkipSampling = true
-		for i := 0; i < b.N; i++ {
-			gnp.GenerateChunk(p, 7)
-		}
-	})
-}
-
-// A4: RGG cell side max(r, n^(-1/d)) vs always r — the clamp avoids
-// overly fine grids for sub-density radii.
-func BenchmarkAblationRGGCell(b *testing.B) {
-	const n = 1 << 14
-	r := rgg.ConnectivityRadius(n, 2) / 8 // much smaller than n^-1/2
-	b.Run("clamped-target", func(b *testing.B) {
-		p := rgg.Params{N: n, R: r, Dim: 2, Seed: 1, Chunks: 4}
-		for i := 0; i < b.N; i++ {
-			rgg.GenerateChunk(p, 1)
-		}
-	})
-	// The unclamped variant is emulated by the naive baseline on the same
-	// density to show the cost of losing the grid bound entirely.
-	b.Run("no-grid-naive", func(b *testing.B) {
-		pts := baseline.UniformPoints(n/4, 2, 1)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			baseline.RGGNaive(pts, 2, r)
-		}
-	})
-}
-
-// A5: sRHG single-chunk sweep cost across gamma (cell batching pressure).
-func BenchmarkAblationSRHGGamma(b *testing.B) {
-	for _, gamma := range []float64{2.2, 2.6, 3.0, 4.0} {
-		b.Run(fmt.Sprintf("gamma=%v", gamma), func(b *testing.B) {
-			p := srhg.Params{N: 1 << 13, AvgDeg: 16, Gamma: gamma, Seed: 1, Chunks: 4}
-			for i := 0; i < b.N; i++ {
-				srhg.GenerateChunk(p, 1)
-			}
-		})
-	}
-}
-
-// A6: Morton-ordered chunk ownership vs an (emulated) row-major one: the
-// Z-order keeps a PE's chunks adjacent, which shrinks the ghost surface.
-// We measure the ghost recomputation volume indirectly via chunk runtime
-// at equal parameters but different PE->chunk mappings.
-func BenchmarkAblationMorton(b *testing.B) {
-	const n = 1 << 14
-	p := rgg.Params{N: n, Dim: 2, Seed: 1, Chunks: 16}
-	p.R = rgg.ConnectivityRadius(n, 2)
-	b.Run("morton-contiguous", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rgg.GenerateChunk(p, 5)
-		}
-	})
-	// Emulated scattered ownership: the same number of chunks gathered
-	// from the four corners of the Morton range (one chunk from each
-	// quadrant), maximizing ghost surface.
-	b.Run("scattered", func(b *testing.B) {
-		q := p
-		q.Chunks = 64
-		for i := 0; i < b.N; i++ {
-			rgg.GenerateChunk(q, 0)
-			rgg.GenerateChunk(q, 21)
-			rgg.GenerateChunk(q, 42)
-			rgg.GenerateChunk(q, 63)
-		}
-	})
-}
-
-// A7: RHG partitioned (inward+outward queries) vs outward-only mode — the
-// speedup §8.6 attributes to skipping the inward recomputation.
-func BenchmarkAblationRHGOutward(b *testing.B) {
-	base := rhg.Params{N: 1 << 14, AvgDeg: 16, Gamma: 2.5, Seed: 1, Chunks: 16}
-	b.Run("partitioned", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rhg.GenerateChunk(base, 7)
-		}
-	})
-	b.Run("outward-only", func(b *testing.B) {
-		p := base
-		p.OutwardOnly = true
-		for i := 0; i < b.N; i++ {
-			rhg.GenerateChunk(p, 7)
-		}
-	})
-}
-
-// A8: derived-stream setup cost — xoshiro256** (used) vs a full Mersenne
-// Twister seeding per structural stream (the naive fidelity choice).
-func BenchmarkAblationStreamSetup(b *testing.B) {
-	b.Run("xoshiro", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			prng.New(42, uint64(i)).Uint64()
-		}
-	})
-	b.Run("mt19937", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			prng.NewMTHashed(42, uint64(i)).Uint64()
-		}
-	})
-}
+func BenchmarkAblationBinomial(b *testing.B)    { benchreg.Group(b, "AblationBinomial") }
+func BenchmarkAblationRHGTrig(b *testing.B)     { benchreg.Group(b, "AblationRHGTrig") }
+func BenchmarkAblationGNPSkip(b *testing.B)     { benchreg.Group(b, "AblationGNPSkip") }
+func BenchmarkAblationRGGCell(b *testing.B)     { benchreg.Group(b, "AblationRGGCell") }
+func BenchmarkAblationSRHGGamma(b *testing.B)   { benchreg.Group(b, "AblationSRHGGamma") }
+func BenchmarkAblationMorton(b *testing.B)      { benchreg.Group(b, "AblationMorton") }
+func BenchmarkAblationRHGOutward(b *testing.B)  { benchreg.Group(b, "AblationRHGOutward") }
+func BenchmarkAblationStreamSetup(b *testing.B) { benchreg.Group(b, "AblationStreamSetup") }

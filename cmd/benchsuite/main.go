@@ -1,35 +1,158 @@
-// Command benchsuite regenerates every figure of the paper's evaluation
-// (§8, Figs. 6-18) at laptop scale and prints the series as CSV-like
-// tables; see internal/experiments for the sweep definitions and
-// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+// Command benchsuite drives the paper's evaluation at laptop scale.
+//
+// In its default mode it regenerates every figure of §8 (Figs. 6-18) as
+// CSV-like series tables; see internal/experiments for the sweep
+// definitions and EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+//
+// With -bench it instead executes the per-configuration micro-benchmarks
+// of bench_test.go (shared via internal/benchreg) through
+// testing.Benchmark and writes the measured ns/op, B/op and allocs/op per
+// benchmark as JSON — the file committed as BENCH_kagen.json, which pins
+// the repository's performance trajectory. -checkjson validates the shape
+// of such a file (used by CI to keep the format honest).
 //
 // Usage:
 //
 //	benchsuite [-exp all|fig06|fig07|...|fig18] [-quick] [-seed N]
+//	benchsuite -bench [-benchtime 0.5s] [-quick] [-o BENCH_kagen.json]
+//	benchsuite -checkjson BENCH_kagen.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 
+	"repro/internal/benchreg"
 	"repro/internal/experiments"
 )
 
+// benchFile is the JSON shape written by -bench and verified by -checkjson.
+type benchFile struct {
+	Schema     string       `json:"schema"`
+	GoOS       string       `json:"goos"`
+	GoArch     string       `json:"goarch"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name     string  `json:"name"`
+	N        int     `json:"n"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+const benchSchema = "kagen-bench/v1"
+
 func main() {
+	testing.Init() // registers test.benchtime before flag.Parse
 	var (
-		quick = flag.Bool("quick", false, "smaller sizes, fewer points per series")
-		seed  = flag.Uint64("seed", 42, "instance seed")
-		exp   = flag.String("exp", "all", "experiment to run (all, fig06..fig18)")
+		quick     = flag.Bool("quick", false, "smaller sizes, fewer points per series; with -bench, one iteration per benchmark")
+		seed      = flag.Uint64("seed", 42, "instance seed")
+		exp       = flag.String("exp", "all", "experiment to run (all, fig06..fig18)")
+		bench     = flag.Bool("bench", false, "run the micro-benchmark registry and write JSON instead of the figure sweeps")
+		benchtime = flag.String("benchtime", "0.5s", "per-benchmark measuring time for -bench (testing.B semantics, e.g. 1s or 100x)")
+		out       = flag.String("o", "", "output file for -bench JSON (default: stdout)")
+		checkjson = flag.String("checkjson", "", "validate the shape of an existing bench JSON file and exit")
 	)
 	flag.Parse()
-	err := experiments.Run(*exp, experiments.Config{
-		Quick: *quick,
-		Seed:  *seed,
-		Out:   os.Stdout,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+
+	switch {
+	case *checkjson != "":
+		if err := checkBenchFile(*checkjson); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid %s file\n", *checkjson, benchSchema)
+	case *bench:
+		if err := runBench(*quick, *benchtime, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		err := experiments.Run(*exp, experiments.Config{
+			Quick: *quick,
+			Seed:  *seed,
+			Out:   os.Stdout,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
+}
+
+// runBench executes every registered leaf benchmark with testing.Benchmark
+// and writes the results as a benchFile.
+func runBench(quick bool, benchtime, out string) error {
+	if quick {
+		benchtime = "1x"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("benchsuite: bad -benchtime: %w", err)
+	}
+	file := benchFile{Schema: benchSchema, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, c := range benchreg.All() {
+		r := testing.Benchmark(c.F)
+		file.Benchmarks = append(file.Benchmarks, benchEntry{
+			Name:     c.Name,
+			N:        r.N,
+			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BOp:      r.AllocedBytesPerOp(),
+			AllocsOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-48s %12.0f ns/op %12d B/op %9d allocs/op\n",
+			c.Name, file.Benchmarks[len(file.Benchmarks)-1].NsOp,
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// checkBenchFile validates that a JSON file has the benchFile shape: the
+// schema marker, at least one benchmark, and sane fields on every entry.
+func checkBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file benchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if file.Schema != benchSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, file.Schema, benchSchema)
+	}
+	if len(file.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	seen := make(map[string]bool, len(file.Benchmarks))
+	for i, b := range file.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("%s: benchmark %d has no name", path, i)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("%s: duplicate benchmark %q", path, b.Name)
+		}
+		seen[b.Name] = true
+		if b.N <= 0 || b.NsOp < 0 || b.BOp < 0 || b.AllocsOp < 0 {
+			return fmt.Errorf("%s: benchmark %q has invalid measurements", path, b.Name)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }

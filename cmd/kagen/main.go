@@ -109,16 +109,17 @@ type countingSink struct {
 	edges uint64
 }
 
-func (c *countingSink) Chunk(pe uint64, edges []kagen.Edge) error {
+func (c *countingSink) Batch(pe uint64, edges []kagen.Edge) error {
 	c.edges += uint64(len(edges))
-	return c.Sink.Chunk(pe, edges)
+	return c.Sink.Batch(pe, edges)
 }
 
 // discardSink counts edges without writing them (-format none).
 type discardSink struct{}
 
 func (discardSink) Begin(n, pes uint64) error             { return nil }
-func (discardSink) Chunk(pe uint64, e []kagen.Edge) error { return nil }
+func (discardSink) Batch(pe uint64, e []kagen.Edge) error { return nil }
+func (discardSink) EndPE(pe uint64) error                 { return nil }
 func (discardSink) Close() error                          { return nil }
 
 func runStream(gen kagen.Generator, model, format, out string, workers int, stats bool) {

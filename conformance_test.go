@@ -142,10 +142,12 @@ func TestConformance(t *testing.T) {
 	}
 }
 
-// collectSink gathers the stream in memory and records the protocol.
+// collectSink gathers the stream in memory and asserts the sink protocol:
+// per PE in increasing order, zero or more non-empty Batch calls followed
+// by exactly one EndPE.
 type collectSink struct {
 	n, pes uint64
-	lastPE int
+	lastPE int // last PE whose EndPE arrived
 	edges  []Edge
 	closed bool
 }
@@ -156,12 +158,22 @@ func (c *collectSink) Begin(n, pes uint64) error {
 	return nil
 }
 
-func (c *collectSink) Chunk(pe uint64, edges []Edge) error {
+func (c *collectSink) Batch(pe uint64, edges []Edge) error {
 	if int(pe) != c.lastPE+1 {
-		panic("sink: chunks out of order")
+		panic("sink: batch for a PE other than the delivery head")
+	}
+	if len(edges) == 0 {
+		panic("sink: empty batch delivered")
+	}
+	c.edges = append(c.edges, edges...)
+	return nil
+}
+
+func (c *collectSink) EndPE(pe uint64) error {
+	if int(pe) != c.lastPE+1 {
+		panic("sink: EndPE out of order")
 	}
 	c.lastPE = int(pe)
-	c.edges = append(c.edges, edges...)
 	return nil
 }
 

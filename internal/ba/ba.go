@@ -52,7 +52,8 @@ func (p Params) Validate() error {
 
 // draw returns the random value of slot k: uniform in [0, 2k].
 func draw(seed, k uint64) uint64 {
-	return prng.New(seed, core.TagBA, k).UintN(2*k + 1)
+	r := prng.New(seed, core.TagBA, k)
+	return r.UintN(2*k + 1)
 }
 
 // Target resolves the endpoint M[2k+1] of edge k by retracing the

@@ -171,10 +171,10 @@ func TestDeterminism(t *testing.T) {
 	draw := func() [4]uint64 {
 		r := prng.New(123, 0x99, 7)
 		return [4]uint64{
-			Binomial(r, 1<<20, 0.37),
-			Hypergeometric(r, 1<<20, 1<<15, 1<<12),
-			Multinomial(r, 1000, []float64{1, 2, 3})[1],
-			GeometricSkip(r, 0.001),
+			Binomial(&r, 1<<20, 0.37),
+			Hypergeometric(&r, 1<<20, 1<<15, 1<<12),
+			Multinomial(&r, 1000, []float64{1, 2, 3})[1],
+			GeometricSkip(&r, 0.001),
 		}
 	}
 	a, b := draw(), draw()

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/prng"
 )
@@ -155,7 +155,7 @@ func LabelPropagation(e *EdgeList, maxRounds int, seed uint64) []uint64 {
 					cands = append(cands, label)
 				}
 			}
-			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			slices.Sort(cands)
 			labels[v] = cands[r.UintN(uint64(len(cands)))]
 			changed++
 		}

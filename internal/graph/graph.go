@@ -5,7 +5,8 @@
 package graph
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 )
 
 // Edge is a directed edge (U, V). Undirected generators emit each edge once
@@ -24,14 +25,21 @@ type EdgeList struct {
 // Len returns the number of (directed) edges.
 func (e *EdgeList) Len() int { return len(e.Edges) }
 
-// Sort orders edges lexicographically by (U, V).
+// Sort orders edges lexicographically by (U, V). The comparison runs on
+// the packed (U, V) key pair through slices.SortFunc — no interface
+// boxing, no index-closure indirection — which is markedly faster than
+// the previous sort.Slice on the hot Sort/Dedup paths. Equal edges are
+// identical values, so the unstable order change is unobservable.
 func (e *EdgeList) Sort() {
-	sort.Slice(e.Edges, func(i, j int) bool {
-		if e.Edges[i].U != e.Edges[j].U {
-			return e.Edges[i].U < e.Edges[j].U
-		}
-		return e.Edges[i].V < e.Edges[j].V
-	})
+	slices.SortFunc(e.Edges, compareEdges)
+}
+
+// compareEdges is the lexicographic (U, V) order.
+func compareEdges(a, b Edge) int {
+	if c := cmp.Compare(a.U, b.U); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.V, b.V)
 }
 
 // Dedup sorts the list and removes exact duplicates in place.
@@ -128,8 +136,7 @@ func BuildCSR(e *EdgeList) *CSR {
 	}
 	// Sort each adjacency list for reproducible iteration and fast lookup.
 	for v := uint64(0); v < n; v++ {
-		adj := targets[offsets[v]:offsets[v+1]]
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		slices.Sort(targets[offsets[v]:offsets[v+1]])
 	}
 	return &CSR{N: n, Offsets: offsets, Targets: targets}
 }
@@ -144,9 +151,8 @@ func (c *CSR) Neighbors(v uint64) []uint64 {
 
 // HasEdge reports whether the directed edge (u, v) exists.
 func (c *CSR) HasEdge(u, v uint64) bool {
-	adj := c.Neighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	return i < len(adj) && adj[i] == v
+	_, ok := slices.BinarySearch(c.Neighbors(u), v)
+	return ok
 }
 
 // UnionFind is a weighted-union path-halving disjoint set forest.

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Stats summarizes a generated instance for validation and reporting.
@@ -145,7 +145,7 @@ func DegreePercentile(degrees []uint64, q float64) uint64 {
 		return 0
 	}
 	sorted := append([]uint64(nil), degrees...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	idx := int(q / 100 * float64(len(sorted)-1))
 	return sorted[idx]
 }

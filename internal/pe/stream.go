@@ -3,25 +3,70 @@ package pe
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
+// DefaultBatchSize is the batch capacity used by Stream: 4096 items keeps
+// a batch of 16-byte edges at 64 KiB — large enough to amortize the
+// per-batch synchronization to noise, small enough that the pipeline's
+// buffered footprint stays tiny compared to whole chunks.
+const DefaultBatchSize = 4096
+
+// maxQueuedBatches bounds the batch list queued for one not-yet-delivered
+// PE. A producer that runs this far ahead of the delivery head blocks
+// until the head catches up, which caps the pipeline's buffered items at
+// window * maxQueuedBatches * batchSize regardless of chunk sizes.
+const maxQueuedBatches = 16
+
 // Stream executes produce(pe, emit) for every pe in [0, P) on a bounded
-// worker pool and hands each PE's emitted items to consume — exactly once
-// per PE, in increasing PE order, regardless of the worker count or the
-// completion order. It is the parallel streaming runtime: generation runs
-// concurrently into per-worker buffers while the sink observes the same
-// deterministic sequence a serial run would produce.
+// worker pool and hands the emitted items to consume in fixed-capacity
+// batches — in increasing PE order, and within each PE in emission order,
+// regardless of the worker count or the completion order. It is the
+// parallel streaming runtime: generation runs concurrently into pooled
+// batches while the sink observes the same deterministic item sequence a
+// serial run would produce. Batch boundaries carry no meaning: the
+// delivered concatenation is invariant under the batch size.
 //
-// At most 2*workers chunks are admitted beyond the delivery head, so the
-// buffered item count is bounded by the window times the largest chunk —
-// the whole output is never materialized at once.
+// consume receives each PE's batches in order; final marks the PE's last
+// batch (a PE with no items gets exactly one final, empty batch). Batches
+// are drawn from a sync.Pool and recycled after consume returns, so
+// steady-state streaming performs no allocation; a batch is only valid
+// during the consume call.
 //
-// consume runs on whichever worker completes the head chunk; calls never
+// The head PE's batches are flushed as they fill — while the chunk is
+// still generating — so the pipeline's buffered footprint is bounded by
+// window * maxQueuedBatches * batchSize items (window = 2*workers), not
+// by the largest chunk. At most window chunks are admitted beyond the
+// delivery head.
+//
+// consume runs on whichever worker owns the delivery head; calls never
 // overlap. The first error returned by consume stops the run: no further
-// chunks are started or delivered, and the error is returned. A PE whose
-// produce is already running completes into its buffer, which is then
-// discarded.
-func Stream[T any](P, workers int, produce func(pe int, emit func(T)), consume func(pe int, chunk []T) error) error {
+// batches are delivered, no further chunks are started, and the error is
+// returned. A PE whose produce is already running completes, with its
+// output discarded.
+func Stream[T any](P, workers int, produce func(pe int, emit func(T)), consume func(pe int, batch []T, final bool) error) error {
+	return StreamBatched(P, workers, DefaultBatchSize, produce, consume)
+}
+
+// StreamBatched is Stream with an explicit batch capacity (0 or negative
+// selects DefaultBatchSize). The delivered item sequence is identical for
+// every batch size; only the batch boundaries move.
+func StreamBatched[T any](P, workers, batchSize int, produce func(pe int, emit func(T)), consume func(pe int, batch []T, final bool) error) error {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return streamBatched(P, workers, newBatchPool[T](batchSize), produce, consume)
+}
+
+// batchEntry is one queued delivery: a pooled batch and the final marker.
+type batchEntry[T any] struct {
+	batch *[]T
+	final bool
+}
+
+// streamBatched runs the pipeline against an explicit pool (separated so
+// the tests can audit that every borrowed batch is returned).
+func streamBatched[T any](P, workers int, pool *batchPool[T], produce func(pe int, emit func(T)), consume func(pe int, batch []T, final bool) error) error {
 	if P <= 0 {
 		return nil
 	}
@@ -31,26 +76,114 @@ func Stream[T any](P, workers int, produce func(pe int, emit func(T)), consume f
 	if workers > P {
 		workers = P
 	}
+	batchSize := pool.size
+
 	if workers <= 1 {
-		for i := 0; i < P; i++ {
-			var buf []T
-			produce(i, func(item T) { buf = append(buf, item) })
-			if err := consume(i, buf); err != nil {
-				return err
+		// Single-worker fallback: one pooled buffer is reused across every
+		// PE — the serial path allocates exactly one batch for the whole
+		// run instead of a fresh buffer per PE.
+		pb := pool.get()
+		defer pool.put(pb)
+		var err error
+		for i := 0; i < P && err == nil; i++ {
+			pe := i
+			buf := (*pb)[:0]
+			produce(pe, func(item T) {
+				if err != nil {
+					return // sink already failed; drop the remainder
+				}
+				buf = append(buf, item)
+				if len(buf) >= batchSize {
+					err = consume(pe, buf, false)
+					buf = buf[:0]
+				}
+			})
+			if err == nil {
+				err = consume(pe, buf, true)
 			}
 		}
-		return nil
+		return err
 	}
 
 	var (
 		mu         sync.Mutex
 		cond       = sync.NewCond(&mu)
 		next, head int
-		pending    = make(map[int][]T)
+		queues     = make(map[int][]batchEntry[T])
 		delivering bool
 		firstErr   error
+		failed     atomic.Bool
 	)
 	window := 2 * workers
+
+	// drain delivers every queued entry at the delivery head, advancing
+	// the head across completed PEs. Called with mu held; only one worker
+	// delivers at a time, and the mutex is released around the consume
+	// call so the other workers keep generating.
+	drain := func() {
+		if delivering {
+			return
+		}
+		delivering = true
+		for firstErr == nil {
+			q := queues[head]
+			if len(q) == 0 {
+				break
+			}
+			e := q[0]
+			if len(q) == 1 {
+				delete(queues, head)
+			} else {
+				queues[head] = q[1:]
+			}
+			h := head
+			if e.final {
+				head++
+			}
+			mu.Unlock()
+			err := consume(h, *e.batch, e.final)
+			mu.Lock()
+			pool.put(e.batch)
+			if err != nil && firstErr == nil {
+				firstErr = err
+				failed.Store(true)
+			}
+			cond.Broadcast()
+		}
+		delivering = false
+	}
+
+	// flush queues one batch for delivery and returns a fresh batch (nil
+	// after the final flush). A producer running too far ahead of the
+	// delivery waits here: non-head PEs until the head catches up, the
+	// head PE only while another worker owns the drain loop (the drainer
+	// broadcasts after every consume and exits only on an empty queue, so
+	// the wait always makes progress — and keeps queues[head] bounded even
+	// against a sink slower than the generator). A head producer with no
+	// active drainer never waits; it delivers its own backlog via drain.
+	flush := func(pe int, b *[]T, final bool) *[]T {
+		mu.Lock()
+		for firstErr == nil && (pe != head || delivering) && len(queues[pe]) >= maxQueuedBatches {
+			cond.Wait()
+		}
+		if firstErr != nil {
+			mu.Unlock()
+			pool.put(b)
+			if final {
+				return nil
+			}
+			return pool.get()
+		}
+		queues[pe] = append(queues[pe], batchEntry[T]{batch: b, final: final})
+		if pe == head {
+			drain()
+		}
+		mu.Unlock()
+		if final {
+			return nil
+		}
+		return pool.get()
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -70,40 +203,67 @@ func Stream[T any](P, workers int, produce func(pe int, emit func(T)), consume f
 				next++
 				mu.Unlock()
 
-				var buf []T
-				produce(pe, func(item T) { buf = append(buf, item) })
-
-				mu.Lock()
-				if firstErr != nil {
-					mu.Unlock()
-					return
-				}
-				pending[pe] = buf
-				// Drain every pending chunk at the delivery head. Only one
-				// worker delivers at a time; the mutex is released around
-				// the sink call so other workers keep generating.
-				for firstErr == nil && !delivering {
-					chunk, ok := pending[head]
-					if !ok {
-						break
+				pb := pool.get()
+				buf := (*pb)[:0]
+				produce(pe, func(item T) {
+					if failed.Load() {
+						buf = buf[:0] // sink already failed; drop the remainder
+						return
 					}
-					delete(pending, head)
-					h := head
-					delivering = true
-					mu.Unlock()
-					err := consume(h, chunk)
-					mu.Lock()
-					delivering = false
-					head++
-					if err != nil && firstErr == nil {
-						firstErr = err
+					buf = append(buf, item)
+					if len(buf) >= batchSize {
+						*pb = buf
+						pb = flush(pe, pb, false)
+						buf = (*pb)[:0]
 					}
-					cond.Broadcast()
-				}
-				mu.Unlock()
+				})
+				*pb = buf
+				flush(pe, pb, true)
 			}
 		}()
 	}
 	wg.Wait()
+
+	// After an aborted run, recycle whatever was queued but never
+	// delivered so no batch leaks from the pool.
+	for pe, q := range queues {
+		for _, e := range q {
+			pool.put(e.batch)
+		}
+		delete(queues, pe)
+	}
 	return firstErr
+}
+
+// batchPool hands out fixed-capacity batches backed by a sync.Pool and
+// keeps a borrow count so the tests can verify that aborted runs return
+// every batch.
+type batchPool[T any] struct {
+	pool     sync.Pool
+	size     int
+	borrowed atomic.Int64
+}
+
+func newBatchPool[T any](size int) *batchPool[T] {
+	p := &batchPool[T]{size: size}
+	p.pool.New = func() any {
+		s := make([]T, 0, size)
+		return &s
+	}
+	return p
+}
+
+func (p *batchPool[T]) get() *[]T {
+	p.borrowed.Add(1)
+	b := p.pool.Get().(*[]T)
+	*b = (*b)[:0]
+	return b
+}
+
+func (p *batchPool[T]) put(b *[]T) {
+	if b == nil {
+		return
+	}
+	p.borrowed.Add(-1)
+	p.pool.Put(b)
 }

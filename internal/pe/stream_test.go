@@ -21,25 +21,41 @@ func produceSquares(itemsPer int, jitter bool) func(pe int, emit func(int)) {
 	}
 }
 
-func collectStream(t *testing.T, P, workers, itemsPer int, jitter bool) []int {
+// collectBatched streams with an explicit batch size and asserts the sink
+// protocol: batches only for the delivery head, finals in PE order.
+func collectBatched(t *testing.T, P, workers, batchSize, itemsPer int, jitter bool) []int {
 	t.Helper()
 	var got []int
 	lastPE := -1
-	err := Stream(P, workers, produceSquares(itemsPer, jitter), func(pe int, chunk []int) error {
-		if pe != lastPE+1 {
-			t.Fatalf("chunk for PE %d delivered after PE %d", pe, lastPE)
-		}
-		lastPE = pe
-		got = append(got, chunk...)
-		return nil
-	})
+	err := StreamBatched(P, workers, batchSize, produceSquares(itemsPer, jitter),
+		func(pe int, batch []int, final bool) error {
+			if pe != lastPE+1 {
+				t.Fatalf("batch for PE %d delivered while head is %d", pe, lastPE+1)
+			}
+			if batchSize > 0 && len(batch) > batchSize {
+				t.Fatalf("batch of %d items exceeds capacity %d", len(batch), batchSize)
+			}
+			if !final && len(batch) == 0 {
+				t.Fatal("empty non-final batch delivered")
+			}
+			got = append(got, batch...)
+			if final {
+				lastPE = pe
+			}
+			return nil
+		})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if lastPE != P-1 {
-		t.Fatalf("last delivered PE %d, want %d", lastPE, P-1)
+		t.Fatalf("last finalized PE %d, want %d", lastPE, P-1)
 	}
 	return got
+}
+
+func collectStream(t *testing.T, P, workers, itemsPer int, jitter bool) []int {
+	t.Helper()
+	return collectBatched(t, P, workers, 0, itemsPer, jitter)
 }
 
 func TestStreamOrderAndWorkerInvariance(t *testing.T) {
@@ -58,24 +74,86 @@ func TestStreamOrderAndWorkerInvariance(t *testing.T) {
 	}
 }
 
-func TestStreamEmptyChunks(t *testing.T) {
-	calls := 0
-	err := Stream(8, 4, func(pe int, emit func(int)) {
-		if pe%2 == 0 {
-			emit(pe)
+// TestStreamBatchSizeInvariance: the delivered item sequence must be
+// bit-identical for every batch size — batch boundaries carry no meaning.
+// Sizes 1 (every item its own batch), 7 (chunks never divide evenly) and
+// 4096 (chunks much smaller than a batch) cover the boundary cases.
+func TestStreamBatchSizeInvariance(t *testing.T) {
+	const P, itemsPer = 16, 157
+	want := collectBatched(t, P, 1, 0, itemsPer, false)
+	for _, batchSize := range []int{1, 7, 4096} {
+		for _, workers := range []int{1, 4} {
+			got := collectBatched(t, P, workers, batchSize, itemsPer, true)
+			if len(got) != len(want) {
+				t.Fatalf("batch=%d workers=%d: %d items, want %d",
+					batchSize, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("batch=%d workers=%d: item %d = %d, want %d",
+						batchSize, workers, i, got[i], want[i])
+				}
+			}
 		}
-	}, func(pe int, chunk []int) error {
-		calls++
-		if pe%2 == 1 && len(chunk) != 0 {
-			t.Errorf("PE %d: expected empty chunk, got %d items", pe, len(chunk))
+	}
+}
+
+// TestStreamHeadFlushesEarly: the head PE's batches must reach the sink
+// while that PE is still generating — the consume callback observes head
+// batches before the producer has finished the chunk.
+func TestStreamHeadFlushesEarly(t *testing.T) {
+	const items = 10_000
+	const batchSize = 64
+	done := make(chan struct{})
+	sawEarly := false
+	err := StreamBatched(2, 2, batchSize, func(pe int, emit func(int)) {
+		if pe == 1 {
+			<-done // PE 1 cannot finish before PE 0's stream is fully delivered
+			emit(1)
+			return
+		}
+		for i := 0; i < items; i++ {
+			emit(i)
+		}
+		close(done)
+	}, func(pe int, batch []int, final bool) error {
+		if pe == 0 && !final {
+			select {
+			case <-done:
+			default:
+				sawEarly = true // delivered while PE 0 still generating
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != 8 {
-		t.Fatalf("consume called %d times, want 8", calls)
+	if !sawEarly {
+		t.Fatal("no head batch was delivered before its chunk finished generating")
+	}
+}
+
+func TestStreamEmptyChunks(t *testing.T) {
+	finals := 0
+	err := Stream(8, 4, func(pe int, emit func(int)) {
+		if pe%2 == 0 {
+			emit(pe)
+		}
+	}, func(pe int, batch []int, final bool) error {
+		if pe%2 == 1 && len(batch) != 0 {
+			t.Errorf("PE %d: expected empty chunk, got %d items", pe, len(batch))
+		}
+		if final {
+			finals++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finals != 8 {
+		t.Fatalf("%d final batches, want 8", finals)
 	}
 }
 
@@ -83,11 +161,13 @@ func TestStreamErrorStopsRun(t *testing.T) {
 	sentinel := errors.New("sink full")
 	for _, workers := range []int{1, 4} {
 		delivered := 0
-		err := Stream(64, workers, produceSquares(10, false), func(pe int, chunk []int) error {
+		err := Stream(64, workers, produceSquares(10, false), func(pe int, batch []int, final bool) error {
 			if pe == 3 {
 				return fmt.Errorf("pe %d: %w", pe, sentinel)
 			}
-			delivered++
+			if final {
+				delivered++
+			}
 			return nil
 		})
 		if !errors.Is(err, sentinel) {
@@ -99,8 +179,56 @@ func TestStreamErrorStopsRun(t *testing.T) {
 	}
 }
 
+// TestStreamErrorRecyclesBatches: after the first sink error nothing more
+// is delivered, and every pooled batch — in-flight, queued, or discarded —
+// is returned to the pool (no batch leaks from an aborted run).
+func TestStreamErrorRecyclesBatches(t *testing.T) {
+	sentinel := errors.New("sink failed")
+	for _, workers := range []int{1, 3, 8} {
+		for _, batchSize := range []int{1, 7, 64} {
+			pool := newBatchPool[int](batchSize)
+			deliveredAfterError := false
+			sawError := false
+			err := streamBatched(48, workers, pool, produceSquares(100, true),
+				func(pe int, batch []int, final bool) error {
+					if sawError {
+						deliveredAfterError = true
+					}
+					if pe == 5 {
+						sawError = true
+						return sentinel
+					}
+					return nil
+				})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("workers=%d batch=%d: err = %v, want sentinel", workers, batchSize, err)
+			}
+			if deliveredAfterError {
+				t.Fatalf("workers=%d batch=%d: delivery after the first error", workers, batchSize)
+			}
+			if n := pool.borrowed.Load(); n != 0 {
+				t.Fatalf("workers=%d batch=%d: %d batches never returned to the pool",
+					workers, batchSize, n)
+			}
+		}
+	}
+}
+
+// TestStreamSuccessRecyclesBatches: a clean run returns every batch too.
+func TestStreamSuccessRecyclesBatches(t *testing.T) {
+	pool := newBatchPool[int](8)
+	err := streamBatched(16, 4, pool, produceSquares(50, true),
+		func(pe int, batch []int, final bool) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.borrowed.Load(); n != 0 {
+		t.Fatalf("%d batches never returned to the pool", n)
+	}
+}
+
 func TestStreamZeroPEs(t *testing.T) {
-	if err := Stream(0, 4, func(int, func(int)) {}, func(int, []int) error {
+	if err := Stream(0, 4, func(int, func(int)) {}, func(int, []int, bool) error {
 		t.Fatal("consume called for P=0")
 		return nil
 	}); err != nil {

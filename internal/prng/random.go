@@ -2,19 +2,21 @@ package prng
 
 import "math/bits"
 
-// source is the minimal uniform interface the samplers need.
-type source interface {
-	Uint64() uint64
-	Float64() float64
-	Float64Open() float64
-}
-
 // Random is the variate source handed to the samplers. Its seed is derived
 // from structural identifiers with SpookyHash, which is what makes
 // recomputation across processing entities consistent: the same
 // identifiers always yield the same stream.
+//
+// The generators create a Random per structural stream — per chunk, per
+// grid cell, per R-MAT edge — so construction is on the hottest paths in
+// the library. Random is therefore a plain value holding the 4-word
+// xoshiro256** state inline: New performs no heap allocation, and a
+// derived stream lives and dies on the caller's stack. The Mersenne
+// Twister baselines attach their (heap-backed) state through the mt
+// field instead.
 type Random struct {
-	src source
+	x  xoshiro256
+	mt *MT19937 // when non-nil, overrides the inline xoshiro state
 }
 
 // New derives a Random from a user seed and a list of structural
@@ -22,32 +24,49 @@ type Random struct {
 // that calls New with the same arguments obtains an identical stream.
 // Derived streams are short-lived by design, so they use the O(1)-setup
 // xoshiro256** generator seeded from the 128-bit SpookyHash.
-func New(seed uint64, ids ...uint64) *Random {
+func New(seed uint64, ids ...uint64) Random {
 	h1, h2 := HashWords128(seed, ids...)
-	return &Random{src: newXoshiro(h1, h2)}
+	var r Random
+	r.x.seed(h1, h2)
+	return r
 }
 
 // NewFromRaw wraps a raw 64-bit seed without hashing, backed by the
 // Mersenne Twister. Used by the sequential baseline algorithms and tests.
 func NewFromRaw(seed uint64) *Random {
-	return &Random{src: NewMT19937(seed)}
+	return &Random{mt: NewMT19937(seed)}
 }
 
 // NewMTHashed derives an MT19937-backed Random from structural ids, for
 // callers that want the paper's exact generator class on a long stream.
 func NewMTHashed(seed uint64, ids ...uint64) *Random {
 	h1, h2 := HashWords128(seed, ids...)
-	return &Random{src: NewMT19937Array([]uint64{h1, h2, seed})}
+	return &Random{mt: NewMT19937Array([]uint64{h1, h2, seed})}
 }
 
 // Uint64 returns a uniform 64-bit value.
-func (r *Random) Uint64() uint64 { return r.src.Uint64() }
+func (r *Random) Uint64() uint64 {
+	if r.mt != nil {
+		return r.mt.Uint64()
+	}
+	return r.x.Uint64()
+}
 
 // Float64 returns a uniform value in [0, 1).
-func (r *Random) Float64() float64 { return r.src.Float64() }
+func (r *Random) Float64() float64 {
+	if r.mt != nil {
+		return r.mt.Float64()
+	}
+	return r.x.Float64()
+}
 
 // Float64Open returns a uniform value in (0, 1).
-func (r *Random) Float64Open() float64 { return r.src.Float64Open() }
+func (r *Random) Float64Open() float64 {
+	if r.mt != nil {
+		return r.mt.Float64Open()
+	}
+	return r.x.Float64Open()
+}
 
 // UintN returns a uniform value in [0, n) without modulo bias using
 // Lemire's multiply-shift rejection method. n must be positive.
@@ -55,12 +74,12 @@ func (r *Random) UintN(n uint64) uint64 {
 	if n == 0 {
 		panic("prng: UintN with n == 0")
 	}
-	v := r.src.Uint64()
+	v := r.Uint64()
 	hi, lo := bits.Mul64(v, n)
 	if lo < n {
 		thresh := -n % n
 		for lo < thresh {
-			v = r.src.Uint64()
+			v = r.Uint64()
 			hi, lo = bits.Mul64(v, n)
 		}
 	}
@@ -69,5 +88,5 @@ func (r *Random) UintN(n uint64) uint64 {
 
 // UniformRange returns a uniform float64 in [lo, hi).
 func (r *Random) UniformRange(lo, hi float64) float64 {
-	return lo + (hi-lo)*r.src.Float64()
+	return lo + (hi-lo)*r.Float64()
 }

@@ -341,22 +341,37 @@ func end(data *[spookyNumVars]uint64, h *[spookyNumVars]uint64) {
 	endPartial(h)
 }
 
+// hashWordsMax is the identifier count encoded on the stack by the
+// HashWords entry points; longer lists fall back to a heap buffer. The
+// generators pass at most four words (tag plus up to three structural ids).
+const hashWordsMax = 8
+
+// wordBytes serializes words little-endian into scratch when they fit
+// (keeping the buffer on the caller's stack — seed derivation runs per
+// edge/cell on the hot paths) and into a fresh heap buffer otherwise.
+// The bytes are identical either way, so hashes are unchanged.
+func wordBytes(scratch *[8 * hashWordsMax]byte, words []uint64) []byte {
+	buf := scratch[:]
+	if len(words) > hashWordsMax {
+		buf = make([]byte, 8*len(words))
+	}
+	buf = buf[:8*len(words)]
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return buf
+}
+
 // HashWords64 hashes a sequence of 64-bit words. It is the primary seed
 // derivation entry point: callers pass structural identifiers (user seed,
 // generator tag, chunk id, recursion node id) and obtain a stream seed.
 func HashWords64(seed uint64, words ...uint64) uint64 {
-	buf := make([]byte, 8*len(words))
-	for i, w := range words {
-		binary.LittleEndian.PutUint64(buf[8*i:], w)
-	}
-	return Hash64(buf, seed)
+	var scratch [8 * hashWordsMax]byte
+	return Hash64(wordBytes(&scratch, words), seed)
 }
 
 // HashWords128 is HashWords64 returning the full 128-bit hash.
 func HashWords128(seed uint64, words ...uint64) (uint64, uint64) {
-	buf := make([]byte, 8*len(words))
-	for i, w := range words {
-		binary.LittleEndian.PutUint64(buf[8*i:], w)
-	}
-	return Hash128(buf, seed, seed)
+	var scratch [8 * hashWordsMax]byte
+	return Hash128(wordBytes(&scratch, words), seed, seed)
 }

@@ -22,9 +22,9 @@ func splitMix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// newXoshiro seeds the state from two 64-bit hash words.
-func newXoshiro(h1, h2 uint64) *xoshiro256 {
-	x := &xoshiro256{}
+// seed initializes the state in place from two 64-bit hash words, so a
+// xoshiro256 embedded by value (see Random) is seeded without allocating.
+func (x *xoshiro256) seed(h1, h2 uint64) {
 	seed := h1
 	x.s[0] = splitMix64(&seed)
 	x.s[1] = splitMix64(&seed)
@@ -36,10 +36,23 @@ func newXoshiro(h1, h2 uint64) *xoshiro256 {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
+}
+
+// newXoshiro seeds a fresh state from two 64-bit hash words.
+func newXoshiro(h1, h2 uint64) *xoshiro256 {
+	x := &xoshiro256{}
+	x.seed(h1, h2)
 	return x
 }
 
 func (x *xoshiro256) Uint64() uint64 {
+	// The all-zero state is unreachable after seed(); hitting it means a
+	// zero-value Random was used without New. Panic like the previous
+	// interface-backed Random did, instead of emitting zeros forever —
+	// the state words are in registers anyway, so the guard is free.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		panic("prng: use of an unseeded Random (use prng.New)")
+	}
 	result := rot64(x.s[1]*5, 7) * 9
 	t := x.s[1] << 17
 	x.s[2] ^= x.s[0]

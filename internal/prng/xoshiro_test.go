@@ -92,7 +92,8 @@ func TestSplitMix64Known(t *testing.T) {
 
 func BenchmarkNewDerivedStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		New(42, uint64(i), 7).Uint64()
+		r := New(42, uint64(i), 7)
+		_ = r.Uint64()
 	}
 }
 

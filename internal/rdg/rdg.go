@@ -73,10 +73,24 @@ func Generate(p Params, workers int) (*graph.EdgeList, error) {
 // and emits the triangulation edges incident to chunk-owned points.
 func GenerateChunk(p Params, peID uint64) core.Result {
 	res := core.Result{PE: int(peID)}
+	res.Edges = make([]graph.Edge, 0, ExpectedChunkEdges(p))
 	res.RedundantVertices, res.Comparisons = StreamChunk(p, peID, func(e graph.Edge) {
 		res.Edges = append(res.Edges, e)
 	})
 	return res
+}
+
+// ExpectedChunkEdges estimates one PE's local edge count from the mean
+// Delaunay degree of a Poisson point set — 6 in 2-D (Euler), ~15.54 in
+// 3-D — with headroom; used to pre-size the chunk edge list in one
+// allocation. It is an estimate only: emission never depends on it.
+func ExpectedChunkEdges(p Params) uint64 {
+	deg := 6.0
+	if p.Dim == 3 {
+		deg = 15.54
+	}
+	verts := float64(p.N) / float64(p.chunks())
+	return uint64(1.2*deg*verts) + 64
 }
 
 // StreamChunk emits the chunk's simplex-derived edges through the callback

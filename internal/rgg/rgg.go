@@ -75,10 +75,28 @@ func Generate(p Params, workers int) (*graph.EdgeList, error) {
 // incident to its local vertices.
 func GenerateChunk(p Params, peID uint64) core.Result {
 	res := core.Result{PE: int(peID)}
+	res.Edges = make([]graph.Edge, 0, ExpectedChunkEdges(p))
 	res.RedundantVertices, res.Comparisons = StreamChunk(p, peID, func(e graph.Edge) {
 		res.Edges = append(res.Edges, e)
 	})
 	return res
+}
+
+// ExpectedChunkEdges estimates one PE's local edge count — its share of
+// the vertices times the expected degree n * vol(ball(r)), with headroom
+// for the variance — used to pre-size the chunk edge list in one
+// allocation. It is an estimate only: emission never depends on it.
+func ExpectedChunkEdges(p Params) uint64 {
+	vol := math.Pi * p.R * p.R
+	if p.Dim == 3 {
+		vol = 4.0 / 3.0 * math.Pi * p.R * p.R * p.R
+	}
+	perVertex := float64(p.N) * vol
+	if perVertex > float64(p.N) {
+		perVertex = float64(p.N) // degree cannot exceed n, even for r near 1
+	}
+	verts := float64(p.N) / float64(p.chunks())
+	return uint64(1.2*perVertex*verts) + 64
 }
 
 // StreamChunk emits the chunk's edges through the callback in the exact

@@ -107,7 +107,7 @@ func newInstance(p Params) *instance {
 		masses[i+1] = hyperbolic.AnnulusMass(inst.alpha, inst.bigR, inst.bounds[i], inst.bounds[i+1])
 	}
 	r := prng.New(p.Seed, core.TagRHGAnnuli)
-	counts := dist.Multinomial(r, p.N, masses)
+	counts := dist.Multinomial(&r, p.N, masses)
 	inst.coreCount = counts[0]
 	inst.annulusCount = counts[1:]
 
@@ -137,8 +137,8 @@ func (inst *instance) corePoints() []hyperbolic.Point {
 	r := prng.New(inst.p.Seed, core.TagRHGPoints, ^uint64(0))
 	pts := make([]hyperbolic.Point, 0, inst.coreCount)
 	id := uint64(0)
-	sampling.SortedUniforms(r, inst.coreCount, 0, 2*math.Pi, func(theta float64) {
-		rad := hyperbolic.SampleRadius(r, inst.alpha, 0, inst.bigR/2)
+	sampling.SortedUniforms(&r, inst.coreCount, 0, 2*math.Pi, func(theta float64) {
+		rad := hyperbolic.SampleRadius(&r, inst.alpha, 0, inst.bigR/2)
 		pts = append(pts, hyperbolic.MakePoint(id, theta, rad))
 		id++
 	})
@@ -155,8 +155,8 @@ func (inst *instance) chunkPoints(i int, c uint64) []hyperbolic.Point {
 	lo := float64(c) * inst.chunkWidth
 	hi := lo + inst.chunkWidth
 	id := idBase
-	sampling.SortedUniforms(r, count, lo, hi, func(theta float64) {
-		rad := hyperbolic.SampleRadius(r, inst.alpha, inst.bounds[i], inst.bounds[i+1])
+	sampling.SortedUniforms(&r, count, lo, hi, func(theta float64) {
+		rad := hyperbolic.SampleRadius(&r, inst.alpha, inst.bounds[i], inst.bounds[i+1])
 		pts = append(pts, hyperbolic.MakePoint(id, theta, rad))
 		id++
 	})

@@ -49,7 +49,7 @@ func splitRec(seed, k, lo, hi uint64, size SizeFunc, qlo, qhi uint64, out []uint
 	leftSize := size(lo, mid)
 	total := leftSize + size(mid, hi)
 	r := prng.New(seed, tagDivide, lo, hi)
-	left := dist.Hypergeometric(r, total, leftSize, k)
+	left := dist.Hypergeometric(&r, total, leftSize, k)
 	if qlo < mid && lo < qhi { // left subtree intersects query
 		splitRec(seed, left, lo, mid, size, qlo, qhi, out)
 	}
@@ -66,7 +66,7 @@ func BinomialChunkCounts(seed uint64, p float64, chunks uint64, size SizeFunc, q
 	out := make([]uint64, qhi-qlo)
 	for c := qlo; c < qhi; c++ {
 		r := prng.New(seed, tagDivide, ^uint64(0), c)
-		out[c-qlo] = dist.Binomial(r, size(c, c+1), p)
+		out[c-qlo] = dist.Binomial(&r, size(c, c+1), p)
 	}
 	return out
 }
@@ -120,7 +120,7 @@ func recSplitEqual(seed, total, lo, hi, qlo, qhi uint64, out []uint64) {
 	mid := lo + (hi-lo)/2
 	frac := float64(mid-lo) / float64(hi-lo)
 	r := prng.New(seed, tagDivide+2, lo, hi)
-	left := dist.Binomial(r, total, frac)
+	left := dist.Binomial(&r, total, frac)
 	if qlo < mid && lo < qhi {
 		recSplitEqual(seed, left, lo, mid, qlo, qhi, out)
 	}
@@ -144,7 +144,7 @@ func recSplit(seed, total uint64, lo, hi int, prefix []float64, qlo, qhi int, ou
 		frac = (prefix[mid] - prefix[lo]) / all
 	}
 	r := prng.New(seed, tagDivide+1, uint64(lo), uint64(hi))
-	left := dist.Binomial(r, total, frac)
+	left := dist.Binomial(&r, total, frac)
 	if qlo < mid && lo < qhi {
 		recSplit(seed, left, lo, mid, prefix, qlo, qhi, out)
 	}

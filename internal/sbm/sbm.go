@@ -180,12 +180,12 @@ func GenerateChunk(p Params, chunk uint64) []graph.Edge {
 				if i == j {
 					// Diagonal chunk: only the strict lower triangle of
 					// the chunk counts; clip the rectangle accordingly.
-					sampleLowerTriangleRect(r, rowPart, colPart, prob, func(u, v uint64) {
+					sampleLowerTriangleRect(&r, rowPart, colPart, prob, func(u, v uint64) {
 						edges = append(edges, graph.Edge{U: u, V: v}, graph.Edge{U: v, V: u})
 					})
 					continue
 				}
-				sampleRect(r, rowPart, colPart, prob, func(u, v uint64) {
+				sampleRect(&r, rowPart, colPart, prob, func(u, v uint64) {
 					if chunk == i {
 						edges = append(edges, graph.Edge{U: u, V: v})
 					} else {

@@ -42,13 +42,17 @@ func WriteMetis(w io.Writer, e *EdgeList) error {
 // --- streaming sinks ---
 
 // Sink consumes the edge stream of a Streamer run driven by Stream:
-// Begin once, then exactly one Chunk call per PE in increasing PE order,
-// then Close. The chunk slice is only valid during the call.
+// Begin once, then for each PE in increasing PE order zero or more Batch
+// calls (non-empty, in emission order) followed by exactly one EndPE
+// call, then Close. A batch slice is only valid during the call — it is
+// recycled into the pipeline's pool as soon as Batch returns.
 type Sink interface {
 	// Begin announces the instance: n vertices, pes logical PEs.
 	Begin(n, pes uint64) error
-	// Chunk delivers the complete local edge list of one PE.
-	Chunk(pe uint64, edges []Edge) error
+	// Batch delivers one batch of the PE's local edges.
+	Batch(pe uint64, edges []Edge) error
+	// EndPE marks the end of one PE's edges.
+	EndPE(pe uint64) error
 	// Close flushes and releases the sink. It is called exactly once,
 	// also after an aborted run.
 	Close() error
@@ -58,7 +62,8 @@ type Sink interface {
 // line. The edge count is not part of the header (it is unknown until the
 // stream ends); ReadEdgeListText accepts the format regardless.
 type TextSink struct {
-	bw *bufio.Writer
+	bw      *bufio.Writer
+	scratch []byte
 }
 
 // NewTextSink returns a Sink writing the text edge-list format to w.
@@ -72,18 +77,31 @@ func (s *TextSink) Begin(n, pes uint64) error {
 	return err
 }
 
-// Chunk writes one line per edge.
-func (s *TextSink) Chunk(pe uint64, edges []Edge) error {
-	for _, e := range edges {
-		s.bw.WriteString(strconv.FormatUint(e.U, 10))
-		s.bw.WriteByte(' ')
-		s.bw.WriteString(strconv.FormatUint(e.V, 10))
-		if err := s.bw.WriteByte('\n'); err != nil {
-			return err
-		}
-	}
-	return nil
+// Batch formats the whole batch into a reusable scratch buffer with
+// strconv.AppendUint and writes it with a single buffered write.
+func (s *TextSink) Batch(pe uint64, edges []Edge) error {
+	buf := appendEdgeText(s.scratch, edges)
+	s.scratch = buf[:0]
+	_, err := s.bw.Write(buf)
+	return err
 }
+
+// appendEdgeText appends "u v\n" lines for edges to buf[:0] with
+// strconv.AppendUint and returns the text frame; shared by the text and
+// sharded-text sinks (the binary counterpart is encodeEdgeFrame).
+func appendEdgeText(buf []byte, edges []Edge) []byte {
+	buf = buf[:0]
+	for _, e := range edges {
+		buf = strconv.AppendUint(buf, e.U, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, e.V, 10)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// EndPE is a no-op: the text format has no per-PE structure.
+func (s *TextSink) EndPE(pe uint64) error { return nil }
 
 // Close flushes the buffered output.
 func (s *TextSink) Close() error { return s.bw.Flush() }
@@ -94,9 +112,10 @@ func (s *TextSink) Close() error { return s.bw.Flush() }
 // example an *os.File): a placeholder edge count is written at Begin and
 // patched at Close.
 type BinarySink struct {
-	ws    io.WriteSeeker
-	bw    *bufio.Writer
-	count uint64
+	ws      io.WriteSeeker
+	bw      *bufio.Writer
+	count   uint64
+	scratch []byte
 }
 
 // NewBinarySink returns a Sink writing the binary edge-list format to ws.
@@ -113,18 +132,32 @@ func (s *BinarySink) Begin(n, pes uint64) error {
 	return err
 }
 
-// Chunk writes the edges as little-endian pairs.
-func (s *BinarySink) Chunk(pe uint64, edges []Edge) error {
-	var buf [16]byte
-	for _, e := range edges {
-		binary.LittleEndian.PutUint64(buf[0:], e.U)
-		binary.LittleEndian.PutUint64(buf[8:], e.V)
-		if _, err := s.bw.Write(buf[:]); err != nil {
-			return err
-		}
-	}
+// Batch encodes the whole batch as one little-endian frame in a reusable
+// scratch buffer and writes it with a single buffered write.
+func (s *BinarySink) Batch(pe uint64, edges []Edge) error {
+	frame := encodeEdgeFrame(s.scratch, edges)
+	s.scratch = frame[:0]
 	s.count += uint64(len(edges))
-	return nil
+	_, err := s.bw.Write(frame)
+	return err
+}
+
+// EndPE is a no-op: the binary format has no per-PE structure.
+func (s *BinarySink) EndPE(pe uint64) error { return nil }
+
+// encodeEdgeFrame appends the 16-byte little-endian encodings of edges to
+// buf[:0], growing it as needed, and returns the frame.
+func encodeEdgeFrame(buf []byte, edges []Edge) []byte {
+	need := 16 * len(edges)
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:need]
+	for i, e := range edges {
+		binary.LittleEndian.PutUint64(buf[16*i:], e.U)
+		binary.LittleEndian.PutUint64(buf[16*i+8:], e.V)
+	}
+	return buf
 }
 
 // Close flushes the stream and patches the edge count into the header.
@@ -148,12 +181,22 @@ func (s *BinarySink) Close() error {
 // directory: <prefix>-pe<id>.<txt|bin>, each readable with
 // ReadEdgeListText / ReadEdgeListBinary and carrying the global vertex
 // count — the per-PE partitioned output a distributed consumer expects.
+// Each shard is written incrementally batch by batch: a shard file is
+// opened at the PE's first batch and finalized at its EndPE, so no chunk
+// is ever held in memory. Binary shards get their edge count patched into
+// the header at EndPE; text shards use the streaming "# n" header (no
+// edge count), which ReadEdgeListText accepts.
 type ShardedSink struct {
 	dir    string
 	prefix string
 	binary bool
 	n      uint64
 	pes    uint64
+
+	f       *os.File
+	bw      *bufio.Writer
+	count   uint64 // edges written to the open shard
+	scratch []byte
 }
 
 // NewShardedSink returns a Sink writing per-PE shard files into dir,
@@ -177,27 +220,96 @@ func (s *ShardedSink) Begin(n, pes uint64) error {
 	return os.MkdirAll(s.dir, 0o755)
 }
 
-// Chunk writes one complete shard file. The chunk edge count is known
-// here, so shards use the standard writers, full headers included.
-func (s *ShardedSink) Chunk(pe uint64, edges []Edge) error {
+// openShard starts the PE's shard file and writes its header.
+func (s *ShardedSink) openShard(pe uint64) error {
 	f, err := os.Create(s.ShardPath(pe))
 	if err != nil {
 		return err
 	}
-	el := &EdgeList{N: s.n, Edges: edges}
-	if s.binary {
-		err = WriteEdgeListBinary(f, el)
+	s.f = f
+	if s.bw == nil {
+		s.bw = bufio.NewWriterSize(f, 1<<20)
 	} else {
-		err = WriteEdgeListText(f, el)
+		s.bw.Reset(f)
 	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	s.count = 0
+	if s.binary {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[0:], s.n)
+		binary.LittleEndian.PutUint64(buf[8:], 0) // patched at EndPE
+		_, err = s.bw.Write(buf[:])
+	} else {
+		_, err = fmt.Fprintf(s.bw, "# %d\n", s.n)
 	}
 	return err
 }
 
-// Close is a no-op: every shard is already complete.
-func (s *ShardedSink) Close() error { return nil }
+// Batch appends one batch to the PE's shard, opening it first if this is
+// the PE's first batch.
+func (s *ShardedSink) Batch(pe uint64, edges []Edge) error {
+	if s.f == nil {
+		if err := s.openShard(pe); err != nil {
+			return err
+		}
+	}
+	s.count += uint64(len(edges))
+	var frame []byte
+	if s.binary {
+		frame = encodeEdgeFrame(s.scratch, edges)
+	} else {
+		frame = appendEdgeText(s.scratch, edges)
+	}
+	s.scratch = frame[:0]
+	_, err := s.bw.Write(frame)
+	return err
+}
+
+// EndPE finalizes the PE's shard: it flushes the buffered edges, patches
+// the binary edge count, and closes the file. A PE without any batches
+// still produces a complete (empty) shard. If finalization fails the
+// partial file is deleted — a shard on disk is always complete.
+func (s *ShardedSink) EndPE(pe uint64) error {
+	if s.f == nil {
+		if err := s.openShard(pe); err != nil {
+			return err
+		}
+	}
+	err := s.bw.Flush()
+	if err == nil && s.binary {
+		if _, serr := s.f.Seek(8, io.SeekStart); serr != nil {
+			err = fmt.Errorf("kagen: sharded sink cannot patch edge count: %w", serr)
+		} else {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], s.count)
+			_, err = s.f.Write(buf[:])
+		}
+	}
+	name := s.f.Name()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	if err != nil {
+		os.Remove(name) // best effort: never leave a truncated shard behind
+	}
+	return err
+}
+
+// Close handles a shard left open by an aborted run: the partial file is
+// closed and deleted, so an abort never leaves a shard that would later
+// read back as a valid (but truncated or empty) edge list.
+func (s *ShardedSink) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	name := s.f.Name()
+	err := s.f.Close()
+	if rerr := os.Remove(name); err == nil {
+		err = rerr
+	}
+	s.f = nil
+	return err
+}
 
 // ReadShardedEdgeList reads the shard files written by a ShardedSink with
 // the given directory, prefix and format, and merges them in PE order.

@@ -171,18 +171,62 @@ func TestStreamSinkErrorPropagates(t *testing.T) {
 	}
 }
 
+// TestShardedSinkAbortRemovesPartialShard: an aborted run must not leave
+// a shard file that would later read back as a valid (empty or truncated)
+// edge list — the open shard is deleted at Close.
+func TestShardedSinkAbortRemovesPartialShard(t *testing.T) {
+	s := NewGNMStreamer(500, 3000, Options{Seed: 1, PEs: 4})
+	for _, binary := range []bool{false, true} {
+		dir := t.TempDir()
+		sink := NewShardedSink(dir, "gnm", binary)
+		// Fail while PE 2's shard is open: its first batch errors after
+		// openShard has created the file.
+		ferr := &failAfterOpen{ShardedSink: sink, failPE: 2}
+		if err := Stream(s, 2, ferr); err == nil {
+			t.Fatal("sink error did not surface")
+		}
+		for pe := uint64(0); pe < 4; pe++ {
+			_, err := os.Stat(sink.ShardPath(pe))
+			if pe < 2 && err != nil {
+				t.Errorf("binary=%v: completed shard %d missing: %v", binary, pe, err)
+			}
+			if pe >= 2 && err == nil {
+				t.Errorf("binary=%v: aborted run left shard %d on disk", binary, pe)
+			}
+		}
+	}
+}
+
+// failAfterOpen lets the embedded ShardedSink open the failPE shard, then
+// fails the batch, leaving the partial file for Close to clean up.
+type failAfterOpen struct {
+	*ShardedSink
+	failPE uint64
+}
+
+func (f *failAfterOpen) Batch(pe uint64, edges []Edge) error {
+	if err := f.ShardedSink.Batch(pe, edges); err != nil {
+		return err
+	}
+	if pe == f.failPE {
+		return os.ErrInvalid
+	}
+	return nil
+}
+
 type failingSink struct {
 	failAt uint64
 	closed bool
 }
 
 func (f *failingSink) Begin(n, pes uint64) error { return nil }
-func (f *failingSink) Chunk(pe uint64, e []Edge) error {
+func (f *failingSink) Batch(pe uint64, e []Edge) error {
 	if pe == f.failAt {
 		return os.ErrInvalid
 	}
 	return nil
 }
+func (f *failingSink) EndPE(pe uint64) error { return nil }
 func (f *failingSink) Close() error {
 	f.closed = true
 	return nil

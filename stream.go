@@ -237,16 +237,30 @@ func (g srhgStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
 
 // Stream runs every PE of s concurrently on at most `workers` goroutines
 // (0 selects GOMAXPROCS) and writes the edge stream to sink: Begin once,
-// then one Chunk call per PE in increasing PE order — identical for every
-// worker count — then Close. Close is called even when a chunk or sink
-// error aborts the run; the first error is returned.
+// then per PE — in increasing PE order, identical for every worker count —
+// zero or more Batch calls followed by one EndPE call, then Close. The
+// head PE's batches reach the sink while that chunk is still generating,
+// so the pipeline buffers a bounded number of fixed-size batches instead
+// of whole chunks (see pe.Stream). Close is called even when a chunk or
+// sink error aborts the run; the first error is returned. A chunk that
+// fails to generate aborts the run, but batches it emitted before failing
+// may already have reached the sink (the registry models validate their
+// parameters before emitting anything, so their failures produce no
+// partial output).
 func Stream(s Streamer, workers int, sink Sink) error {
+	return StreamBatched(s, workers, pe.DefaultBatchSize, sink)
+}
+
+// StreamBatched is Stream with an explicit edge-batch capacity (0 selects
+// pe.DefaultBatchSize). The edge sequence the sink observes is identical
+// for every batch size; only the Batch call boundaries move.
+func StreamBatched(s Streamer, workers, batchSize int, sink Sink) error {
 	P := s.PEs()
 	err := sink.Begin(s.N(), P)
 	if err == nil {
 		var mu sync.Mutex
 		var chunkErr error
-		err = pe.Stream(int(P), workers, func(peID int, emit func(graph.Edge)) {
+		err = pe.StreamBatched(int(P), workers, batchSize, func(peID int, emit func(graph.Edge)) {
 			if e := s.StreamChunk(uint64(peID), emit); e != nil {
 				mu.Lock()
 				if chunkErr == nil {
@@ -254,14 +268,22 @@ func Stream(s Streamer, workers int, sink Sink) error {
 				}
 				mu.Unlock()
 			}
-		}, func(peID int, chunk []graph.Edge) error {
+		}, func(peID int, batch []graph.Edge, final bool) error {
 			mu.Lock()
 			e := chunkErr
 			mu.Unlock()
 			if e != nil {
 				return e // abort delivery once a chunk failed to generate
 			}
-			return sink.Chunk(uint64(peID), chunk)
+			if len(batch) > 0 {
+				if err := sink.Batch(uint64(peID), batch); err != nil {
+					return err
+				}
+			}
+			if final {
+				return sink.EndPE(uint64(peID))
+			}
+			return nil
 		})
 		if err == nil {
 			err = chunkErr

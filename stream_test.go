@@ -40,6 +40,31 @@ func TestStreamersMatchChunk(t *testing.T) {
 	}
 }
 
+// TestStreamBatchSizeInvariance: the sink must observe the identical edge
+// sequence for every batch size — batch boundaries carry no meaning. This
+// is the kagen-level referee for the batch pipeline; the pe package holds
+// the generic counterpart.
+func TestStreamBatchSizeInvariance(t *testing.T) {
+	opt := Options{Seed: 9, PEs: 4}
+	s := NewGNMStreamer(600, 4000, opt)
+	want := &collectSink{}
+	if err := StreamBatched(s, 1, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, batchSize := range []int{1, 7, 4096} {
+		for _, workers := range []int{1, 3} {
+			got := &collectSink{}
+			if err := StreamBatched(s, workers, batchSize, got); err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", batchSize, workers, err)
+			}
+			if !got.closed {
+				t.Fatalf("batch=%d workers=%d: sink not closed", batchSize, workers)
+			}
+			sameEdges(t, "gnm", "batch-size invariance", got.edges, want.edges)
+		}
+	}
+}
+
 func TestStreamerErrors(t *testing.T) {
 	s := NewGNMStreamer(10, 1000, Options{PEs: 2}) // m too large
 	if err := s.StreamChunk(0, func(Edge) {}); err == nil {
