@@ -13,9 +13,11 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/gnm"
 	"repro/internal/gnp"
+	"repro/internal/graph"
 	"repro/internal/hyperbolic"
 	"repro/internal/prng"
 	"repro/internal/rdg"
@@ -307,6 +309,54 @@ func All() []Case {
 				}
 			})
 		}
+	}
+
+	// --- Cell-index optimization benches (DESIGN.md "Flat cell index") ---
+
+	// Per-PE setup must not scale with NumChunks: NewCellAccess plus one
+	// chunk rank query at P=4096 is O(log P) draws, where the former eager
+	// implementation materialized all 4096 chunk counts.
+	{
+		const n = 1 << 22
+		r := rgg.ConnectivityRadius(n, 2)
+		add("CellIndex/setup/P=4096", func(b *testing.B) {
+			g := rgg.NewGrid(n, 2, rgg.RGGTarget(n, 2, r), 4096, 1,
+				core.TagRGGCounts, core.TagRGGCell, core.TagRGGPoints)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				acc := rgg.NewCellAccess(g)
+				total += acc.ChunkTotal(g.NumChunks / 2)
+			}
+			_ = total
+		})
+	}
+
+	// Steady-state streaming allocations of the spatial generators at
+	// Fig09/Fig12 scale — the arena keeps these near-constant per chunk.
+	{
+		const perPE = 1 << 12
+		const P = 16
+		n := uint64(perPE * P)
+		add("CellIndex/rgg-stream-fig09", func(b *testing.B) {
+			p := rgg.Params{N: n, R: rgg.ConnectivityRadius(n, 2) / 4, Dim: 2, Seed: 1, Chunks: P}
+			b.ReportAllocs()
+			var edges uint64
+			for i := 0; i < b.N; i++ {
+				rgg.StreamChunk(p, P/2, func(graph.Edge) { edges++ })
+			}
+			_ = edges
+		})
+		add("CellIndex/rdg-stream", func(b *testing.B) {
+			p := rdg.Params{N: 1 << 12, Dim: 2, Seed: 1, Chunks: 4}
+			b.ReportAllocs()
+			var edges uint64
+			for i := 0; i < b.N; i++ {
+				rdg.StreamChunk(p, 2, func(graph.Edge) { edges++ })
+			}
+			_ = edges
+		})
 	}
 
 	// --- Ablations (DESIGN.md §7) ---

@@ -106,41 +106,9 @@ func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertice
 	lo, hi := g.ChunkRange(peID)
 	for chunk := lo; chunk < hi; chunk++ {
 		triangulateChunk(p, g, acc, chunk, &res, emit)
+		acc.Reset() // bound memory by one chunk + converged halo
 	}
 	return res.RedundantVertices, res.Comparisons
-}
-
-// wrappedCell materializes the cell at (possibly out-of-range) global cell
-// coordinates by wrapping around the torus; the returned points carry the
-// original IDs but shifted positions.
-func wrappedCell(g *rgg.Grid, acc *rgg.CellAccess, coord [3]int64, dim int) []geometry.Point {
-	var cc [3]uint32
-	var shift [3]float64
-	gd := int64(g.GlobalDim)
-	for i := 0; i < dim; i++ {
-		c := coord[i]
-		switch {
-		case c < 0:
-			c += gd
-			shift[i] = -1
-		case c >= gd:
-			c -= gd
-			shift[i] = 1
-		}
-		cc[i] = uint32(c)
-	}
-	base := acc.Cell(cc)
-	if shift == [3]float64{} {
-		return base
-	}
-	out := make([]geometry.Point, len(base))
-	for i, pt := range base {
-		for d := 0; d < dim; d++ {
-			pt.X[d] += shift[d]
-		}
-		out[i] = pt
-	}
-	return out
 }
 
 func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, res *core.Result, emit func(graph.Edge)) {
@@ -153,7 +121,11 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 		cellHi[i] = int64(first[i]) + int64(g.CellsPerDim) - 1
 	}
 
-	added := make(map[[3]int64]bool) // cells already inserted
+	// Insert boxes strictly nest as the halo grows, so "cell already
+	// inserted" is exactly "inside the previously inserted box" — no
+	// per-cell set needed.
+	havePrev := false
+	var prevLo, prevHi [3]int64
 
 	var t2 *delaunay.T2
 	var t3 *delaunay.T3
@@ -177,14 +149,24 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	}
 
 	insertBox := func(blo, bhi [3]int64, isInterior func([3]int64) bool) {
+		inPrev := func(c [3]int64) bool {
+			if !havePrev {
+				return false
+			}
+			for i := 0; i < dim; i++ {
+				if c[i] < prevLo[i] || c[i] > prevHi[i] {
+					return false
+				}
+			}
+			return true
+		}
 		var it func(d int, c [3]int64)
 		it = func(d int, c [3]int64) {
 			if d == dim {
-				if added[c] {
+				if inPrev(c) {
 					return
 				}
-				added[c] = true
-				pts := wrappedCell(g, acc, c, dim)
+				pts := acc.CellTorus(c)
 				inCore := isInterior(c)
 				if !inCore {
 					res.RedundantVertices += uint64(len(pts))
@@ -206,6 +188,7 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 			}
 		}
 		it(0, [3]int64{})
+		prevLo, prevHi, havePrev = blo, bhi, true
 	}
 
 	inChunk := func(c [3]int64) bool {
@@ -308,7 +291,7 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 			nlo[i] = cellLo[i] - halo
 			nhi[i] = cellHi[i] + halo
 		}
-		insertBox(nlo, nhi, inChunk) // added-map skips existing cells
+		insertBox(nlo, nhi, inChunk) // the nested-box check skips the previous box's cells
 		blo, bhi = nlo, nhi
 	}
 

@@ -73,9 +73,18 @@ func (g *Grid) ChunkRange(pe uint64) (uint64, uint64) {
 	return pe * g.NumChunks / g.Chunks, (pe + 1) * g.NumChunks / g.Chunks
 }
 
-// ChunkCounts returns the vertex counts of all chunks.
+// ChunkCounts returns the vertex counts of all chunks. O(NumChunks) —
+// used only by the reference paths (AllPoints); per-PE code uses
+// ChunkRank instead.
 func (g *Grid) ChunkCounts() []uint64 {
 	return sampling.RecursiveSplitEqual(g.Seed^g.tagCounts, g.N, g.NumChunks, 0, g.NumChunks)
+}
+
+// ChunkRank returns the global vertex-ID base (sum of the counts of all
+// lower chunks) and the vertex count of one chunk in O(log NumChunks)
+// binomial draws, bit-identical to prefix-summing ChunkCounts.
+func (g *Grid) ChunkRank(chunk uint64) (idBase, count uint64) {
+	return sampling.RecursiveSplitEqualRank(g.Seed^g.tagCounts, g.N, g.NumChunks, chunk)
 }
 
 // CellCounts splits a chunk's vertex count over its cells (row-major
@@ -83,6 +92,13 @@ func (g *Grid) ChunkCounts() []uint64 {
 func (g *Grid) CellCounts(chunkMorton, count uint64) []uint64 {
 	seed := prng.HashWords64(g.Seed, g.tagCells, chunkMorton)
 	return sampling.RecursiveSplitEqual(seed, count, g.CellsPerChunk(), 0, g.CellsPerChunk())
+}
+
+// CellCountsInto is CellCounts writing into a caller-provided buffer of
+// length CellsPerChunk.
+func (g *Grid) CellCountsInto(chunkMorton, count uint64, out []uint64) {
+	seed := prng.HashWords64(g.Seed, g.tagCells, chunkMorton)
+	sampling.RecursiveSplitEqualInto(seed, count, g.CellsPerChunk(), 0, g.CellsPerChunk(), out)
 }
 
 // ChunkCellCoord converts a chunk Morton index and a row-major in-chunk
@@ -147,16 +163,23 @@ func (g *Grid) InChunkCellIndex(c [3]uint32) uint64 {
 
 // CellPoints generates the points of one cell from its hash-seeded stream.
 func (g *Grid) CellPoints(cellIdx uint64, origin [3]float64, count, idBase uint64) []geometry.Point {
+	return g.AppendCellPoints(make([]geometry.Point, 0, count), cellIdx, origin, count, idBase)
+}
+
+// AppendCellPoints generates the points of one cell from its hash-seeded
+// stream and appends them to dst — the in-place variant backing the cell
+// arena. The random stream and the produced points are identical to
+// CellPoints.
+func (g *Grid) AppendCellPoints(dst []geometry.Point, cellIdx uint64, origin [3]float64, count, idBase uint64) []geometry.Point {
 	r := prng.New(g.Seed, g.tagPoints, cellIdx)
-	pts := make([]geometry.Point, count)
-	for i := range pts {
+	for i := uint64(0); i < count; i++ {
 		var x [3]float64
 		for d := 0; d < g.Dim; d++ {
 			x[d] = origin[d] + r.Float64()*g.CellSide
 		}
-		pts[i] = geometry.Point{X: x, ID: idBase + uint64(i)}
+		dst = append(dst, geometry.Point{X: x, ID: idBase + i})
 	}
-	return pts
+	return dst
 }
 
 // AllPoints returns every point in ID order (chunk Morton order, then
@@ -177,71 +200,159 @@ func (g *Grid) AllPoints() []geometry.Point {
 	return pts
 }
 
-// CellAccess provides memoized cell materialization with globally
-// consistent IDs, shared by the per-PE generation loops.
+// unmaterialized marks a cell whose points have not been written to the
+// arena yet (a zero-count cell still gets a real, empty span).
+const unmaterialized = ^uint64(0)
+
+// chunkCells is the dense cell table of one materialized chunk: the
+// per-cell ID prefix sums (prefix[i+1]-prefix[i] is cell i's count) and
+// the arena span offset of every cell. The buffers are recycled across
+// Reset cycles, so steady-state chunk materialization allocates nothing.
+type chunkCells struct {
+	chunk  uint64
+	idBase uint64   // global ID of the chunk's first point
+	total  uint64   // vertex count of the chunk
+	prefix []uint64 // len CellsPerChunk+1; in-chunk ID prefix sums
+	spans  []uint64 // len CellsPerChunk; arena offsets, or unmaterialized
+}
+
+// CellAccess materializes cells with globally consistent IDs for the
+// per-PE generation loops. Setup is O(log NumChunks) per touched chunk
+// (lazy divide-and-conquer rank queries instead of the former eager
+// O(NumChunks) arrays), and all points live in one contiguous arena
+// indexed by dense per-chunk {offset, length} cell tables — no per-cell
+// map entries or slice headers. Reset drops the materialized state but
+// keeps the buffers, bounding a streaming PE's memory by one chunk plus
+// its halo. Returned point slices alias the arena; they stay valid (the
+// arena only appends, and stale backing arrays keep their contents) until
+// the next Reset, and must never be mutated.
 type CellAccess struct {
-	g           *Grid
-	chunkTotals []uint64
-	idPrefix    []uint64
-	splitCache  map[uint64][]uint64
-	prefixCache map[uint64][]uint64
-	cellCache   map[uint64][]geometry.Point
+	g      *Grid
+	arena  []geometry.Point
+	chunks map[uint64]*chunkCells
+	last   *chunkCells   // most-recently-touched chunk, the hot-path hit
+	free   []*chunkCells // recycled tables for post-Reset reuse
 }
 
-// NewCellAccess prepares the ID prefix sums (O(NumChunks)).
+// NewCellAccess prepares lazy cell access in O(1): no per-chunk state is
+// built until a cell of that chunk is requested.
 func NewCellAccess(g *Grid) *CellAccess {
-	a := &CellAccess{
-		g:           g,
-		chunkTotals: g.ChunkCounts(),
-		splitCache:  map[uint64][]uint64{},
-		prefixCache: map[uint64][]uint64{},
-		cellCache:   map[uint64][]geometry.Point{},
-	}
-	a.idPrefix = make([]uint64, g.NumChunks+1)
-	for i := uint64(0); i < g.NumChunks; i++ {
-		a.idPrefix[i+1] = a.idPrefix[i] + a.chunkTotals[i]
-	}
-	return a
+	return &CellAccess{g: g, chunks: make(map[uint64]*chunkCells)}
 }
 
-// ChunkTotal returns the vertex count of a chunk.
-func (a *CellAccess) ChunkTotal(chunk uint64) uint64 { return a.chunkTotals[chunk] }
-
-func (a *CellAccess) split(chunk uint64) []uint64 {
-	if s, ok := a.splitCache[chunk]; ok {
-		return s
+// ChunkTotal returns the vertex count of a chunk — from its table when
+// materialized, otherwise by a single O(log NumChunks) rank query.
+func (a *CellAccess) ChunkTotal(chunk uint64) uint64 {
+	if a.last != nil && a.last.chunk == chunk {
+		return a.last.total
 	}
-	s := a.g.CellCounts(chunk, a.chunkTotals[chunk])
-	a.splitCache[chunk] = s
-	return s
+	if e, ok := a.chunks[chunk]; ok {
+		return e.total
+	}
+	_, count := a.g.ChunkRank(chunk)
+	return count
 }
 
-func (a *CellAccess) prefix(chunk uint64) []uint64 {
-	if s, ok := a.prefixCache[chunk]; ok {
-		return s
+// chunkFor returns the (materialized) cell table of a chunk.
+func (a *CellAccess) chunkFor(chunk uint64) *chunkCells {
+	if a.last != nil && a.last.chunk == chunk {
+		return a.last
 	}
-	split := a.split(chunk)
-	pre := make([]uint64, len(split)+1)
-	for i, c := range split {
-		pre[i+1] = pre[i] + c
+	if e, ok := a.chunks[chunk]; ok {
+		a.last = e
+		return e
 	}
-	a.prefixCache[chunk] = pre
-	return pre
+	var e *chunkCells
+	if n := len(a.free); n > 0 {
+		e = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		e = &chunkCells{}
+	}
+	cells := a.g.CellsPerChunk()
+	if uint64(cap(e.prefix)) < cells+1 {
+		e.prefix = make([]uint64, cells+1)
+		e.spans = make([]uint64, cells)
+	}
+	e.prefix = e.prefix[:cells+1]
+	e.spans = e.spans[:cells]
+	e.chunk = chunk
+	e.idBase, e.total = a.g.ChunkRank(chunk)
+	// Cell split into prefix[1:], then accumulate in place.
+	a.g.CellCountsInto(chunk, e.total, e.prefix[1:])
+	e.prefix[0] = 0
+	for i := uint64(0); i < cells; i++ {
+		e.prefix[i+1] += e.prefix[i]
+		e.spans[i] = unmaterialized
+	}
+	a.chunks[chunk] = e
+	a.last = e
+	return e
 }
 
-// Cell returns the memoized points of a global cell coordinate.
+// Cell returns the points of a global cell coordinate, materializing them
+// into the arena on first access.
 func (a *CellAccess) Cell(c [3]uint32) []geometry.Point {
-	idx := a.g.GlobalCellIndex(c)
-	if pts, ok := a.cellCache[idx]; ok {
-		return pts
-	}
-	chunk := a.g.OwnerChunkOfCell(c)
+	e := a.chunkFor(a.g.OwnerChunkOfCell(c))
 	inIdx := a.g.InChunkCellIndex(c)
-	count := a.split(chunk)[inIdx]
-	idBase := a.idPrefix[chunk] + a.prefix(chunk)[inIdx]
-	pts := a.g.CellPoints(idx, a.g.CellOrigin(c), count, idBase)
-	a.cellCache[idx] = pts
-	return pts
+	count := e.prefix[inIdx+1] - e.prefix[inIdx]
+	if off := e.spans[inIdx]; off != unmaterialized {
+		return a.arena[off : off+count : off+count]
+	}
+	off := uint64(len(a.arena))
+	idx := a.g.GlobalCellIndex(c)
+	a.arena = a.g.AppendCellPoints(a.arena, idx, a.g.CellOrigin(c), count, e.idBase+e.prefix[inIdx])
+	e.spans[inIdx] = off
+	return a.arena[off : off+count : off+count]
+}
+
+// CellTorus returns the cell at possibly out-of-range global cell
+// coordinates, wrapped around the torus: the points carry the original
+// IDs but positions shifted by the wrap offset. Shifted copies are
+// written to the arena (one append per visit, no fresh slice); unshifted
+// coordinates return the canonical cell. Used by the RDG halo.
+func (a *CellAccess) CellTorus(coord [3]int64) []geometry.Point {
+	var cc [3]uint32
+	var shift [3]float64
+	gd := int64(a.g.GlobalDim)
+	for i := 0; i < a.g.Dim; i++ {
+		c := coord[i]
+		switch {
+		case c < 0:
+			c += gd
+			shift[i] = -1
+		case c >= gd:
+			c -= gd
+			shift[i] = 1
+		}
+		cc[i] = uint32(c)
+	}
+	base := a.Cell(cc)
+	if shift == [3]float64{} {
+		return base
+	}
+	off := len(a.arena)
+	a.arena = append(a.arena, base...)
+	out := a.arena[off : off+len(base) : off+len(base)]
+	for i := range out {
+		for d := 0; d < a.g.Dim; d++ {
+			out[i].X[d] += shift[d]
+		}
+	}
+	return out
+}
+
+// Reset drops all materialized chunks and empties the arena while keeping
+// every buffer for reuse. Called between a streaming PE's chunks so its
+// live memory stays bounded by one chunk plus halo; regenerating a
+// previously dropped cell is bit-identical by construction.
+func (a *CellAccess) Reset() {
+	for chunk, e := range a.chunks {
+		a.free = append(a.free, e)
+		delete(a.chunks, chunk)
+	}
+	a.last = nil
+	a.arena = a.arena[:0]
 }
 
 // RGGTarget is the cell-side target of the RGG generator (§5):

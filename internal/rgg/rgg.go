@@ -99,11 +99,80 @@ func ExpectedChunkEdges(p Params) uint64 {
 	return uint64(1.2*perVertex*verts) + 64
 }
 
+// ghostSet tracks which ghost chunks have been counted towards the
+// redundancy statistic: a bitset over the bounded neighbour box of the
+// PE's chunk range (own chunks dilated by the cell-stencil reach in
+// chunks), replacing the former per-PE map[uint64]bool.
+type ghostSet struct {
+	g     *Grid
+	base  [3]int64
+	dims  [3]int64
+	words []uint64
+}
+
+// newGhostSet derives the neighbour box of the chunks [lo, hi) with a
+// dilation of chunkHalo chunks per side, clamped to the chunk grid.
+func newGhostSet(g *Grid, lo, hi uint64, chunkHalo int64) *ghostSet {
+	s := &ghostSet{g: g}
+	var bmin, bmax [3]int64
+	for i := range bmin {
+		bmin[i], bmax[i] = int64(g.ChunkGridDim), -1
+	}
+	for chunk := lo; chunk < hi; chunk++ {
+		cc := geometry.MortonDecode(g.Dim, chunk)
+		for i := 0; i < g.Dim; i++ {
+			if int64(cc[i]) < bmin[i] {
+				bmin[i] = int64(cc[i])
+			}
+			if int64(cc[i]) > bmax[i] {
+				bmax[i] = int64(cc[i])
+			}
+		}
+	}
+	for i := 0; i < g.Dim; i++ {
+		bmin[i] -= chunkHalo
+		bmax[i] += chunkHalo
+		if bmin[i] < 0 {
+			bmin[i] = 0
+		}
+		if bmax[i] >= int64(g.ChunkGridDim) {
+			bmax[i] = int64(g.ChunkGridDim) - 1
+		}
+	}
+	n := int64(1)
+	for i := 0; i < 3; i++ {
+		s.base[i] = bmin[i]
+		s.dims[i] = 1
+		if i < g.Dim {
+			s.dims[i] = bmax[i] - bmin[i] + 1
+			n *= s.dims[i]
+		}
+	}
+	s.words = make([]uint64, (n+63)/64)
+	return s
+}
+
+// add marks a chunk and reports whether it was newly added.
+func (s *ghostSet) add(chunk uint64) bool {
+	cc := geometry.MortonDecode(s.g.Dim, chunk)
+	idx := int64(0)
+	for i := 0; i < s.g.Dim; i++ {
+		idx = idx*s.dims[i] + int64(cc[i]) - s.base[i]
+	}
+	w, b := idx/64, uint64(1)<<(idx%64)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	return true
+}
+
 // StreamChunk emits the chunk's edges through the callback in the exact
 // deterministic order of GenerateChunk, cell by cell, without
-// materializing the chunk edge list — only the grid-cell context (the
-// memoized points of visited cells) is held in memory. It returns the
-// redundant-vertex and comparison counters of the chunk.
+// materializing the chunk edge list — only the cell arena of the chunk
+// currently in flight (plus its ghost halo) is held in memory; the arena
+// resets between the PE's chunks. It returns the redundant-vertex and
+// comparison counters of the chunk.
 func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertices, comparisons uint64) {
 	g := p.grid()
 	acc := NewCellAccess(g)
@@ -114,7 +183,8 @@ func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertice
 		layers = 1
 	}
 	r2 := p.R * p.R
-	counted := make(map[uint64]bool) // ghost chunks already counted
+	chunkHalo := (layers + int64(g.CellsPerDim) - 1) / int64(g.CellsPerDim)
+	ghosts := newGhostSet(g, lo, hi, chunkHalo)
 
 	for chunk := lo; chunk < hi; chunk++ {
 		cellsInChunk := g.CellsPerChunk()
@@ -134,11 +204,11 @@ func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertice
 					}
 					nc[i] = uint32(v)
 				}
-				neighChunk := g.OwnerChunkOfCell(nc)
-				if neighChunk < lo || neighChunk >= hi {
-					counted[neighChunk] = true // ghost chunk touched
-				}
 				pts := acc.Cell(nc)
+				neighChunk := g.OwnerChunkOfCell(nc)
+				if (neighChunk < lo || neighChunk >= hi) && ghosts.add(neighChunk) {
+					redundantVertices += acc.ChunkTotal(neighChunk)
+				}
 				same := nc == cc
 				for i := range own {
 					for j := range pts {
@@ -167,9 +237,7 @@ func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertice
 				}
 			}
 		}
-	}
-	for chunk := range counted {
-		redundantVertices += acc.ChunkTotal(chunk)
+		acc.Reset() // bound memory by one chunk + halo
 	}
 	return redundantVertices, comparisons
 }

@@ -77,10 +77,9 @@ type instance struct {
 	coreCount    uint64   // vertices in the replicated core (r < R/2)
 	annulusCount []uint64 // vertices per annulus
 	// id prefix: core ids first, then annulus-major, chunk-minor.
-	annulusPrefix []uint64   // prefix sums of annulusCount, offset by coreCount
-	chunkCounts   [][]uint64 // [annulus][chunk]
-	chunkPrefix   [][]uint64 // [annulus][chunk+1]
-	chunkWidth    float64    // 2*pi / P
+	annulusPrefix []uint64 // prefix sums of annulusCount, offset by coreCount
+	annulusSeed   []uint64 // per-annulus chunk-split seeds
+	chunkWidth    float64  // 2*pi / P
 }
 
 func newInstance(p Params) *instance {
@@ -111,23 +110,22 @@ func newInstance(p Params) *instance {
 	inst.coreCount = counts[0]
 	inst.annulusCount = counts[1:]
 
-	P := p.chunks()
-	inst.chunkWidth = 2 * math.Pi / float64(P)
+	inst.chunkWidth = 2 * math.Pi / float64(p.chunks())
 	inst.annulusPrefix = make([]uint64, k+1)
 	inst.annulusPrefix[0] = inst.coreCount
-	inst.chunkCounts = make([][]uint64, k)
-	inst.chunkPrefix = make([][]uint64, k)
+	inst.annulusSeed = make([]uint64, k)
 	for i := 0; i < k; i++ {
 		inst.annulusPrefix[i+1] = inst.annulusPrefix[i] + inst.annulusCount[i]
-		seed := prng.HashWords64(p.Seed, core.TagRHGChunk, uint64(i))
-		inst.chunkCounts[i] = sampling.RecursiveSplitEqual(seed, inst.annulusCount[i], P, 0, P)
-		pre := make([]uint64, P+1)
-		for c := uint64(0); c < P; c++ {
-			pre[c+1] = pre[c] + inst.chunkCounts[i][c]
-		}
-		inst.chunkPrefix[i] = pre
+		inst.annulusSeed[i] = prng.HashWords64(p.Seed, core.TagRHGChunk, uint64(i))
 	}
 	return inst
+}
+
+// chunkRank derives the in-annulus ID offset and vertex count of chunk c
+// of annulus i in O(log P) draws — setup no longer materializes the O(P)
+// per-annulus chunk count and prefix arrays.
+func (inst *instance) chunkRank(i int, c uint64) (before, count uint64) {
+	return sampling.RecursiveSplitEqualRank(inst.annulusSeed[i], inst.annulusCount[i], inst.p.chunks(), c)
 }
 
 // corePoints generates the replicated core identically on every PE:
@@ -148,8 +146,8 @@ func (inst *instance) corePoints() []hyperbolic.Point {
 // chunkPoints generates the points of (annulus i, chunk c), sorted by
 // angle, with globally consistent IDs.
 func (inst *instance) chunkPoints(i int, c uint64) []hyperbolic.Point {
-	count := inst.chunkCounts[i][c]
-	idBase := inst.annulusPrefix[i] + inst.chunkPrefix[i][c]
+	before, count := inst.chunkRank(i, c)
+	idBase := inst.annulusPrefix[i] + before
 	r := prng.New(inst.p.Seed, core.TagRHGPoints, uint64(i), c)
 	pts := make([]hyperbolic.Point, 0, count)
 	lo := float64(c) * inst.chunkWidth

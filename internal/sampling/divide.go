@@ -109,6 +109,63 @@ func RecursiveSplitEqual(seed, total uint64, buckets uint64, qlo, qhi uint64) []
 	return out
 }
 
+// RecursiveSplitEqualInto is RecursiveSplitEqual writing into a
+// caller-provided buffer of length at least qhi-qlo, so steady-state
+// consumers (the flat cell index) can reuse one allocation per chunk.
+func RecursiveSplitEqualInto(seed, total uint64, buckets uint64, qlo, qhi uint64, out []uint64) {
+	out = out[:qhi-qlo]
+	for i := range out {
+		out[i] = 0
+	}
+	recSplitEqual(seed, total, 0, buckets, qlo, qhi, out)
+}
+
+// RecursiveSplitEqualRank walks the recursion path to bucket b and returns
+// the sum of all bucket counts before b together with b's own count, in
+// O(log buckets) binomial draws. The values are bit-identical to summing
+// and indexing the full RecursiveSplitEqual slice: every node on the
+// root-to-leaf path draws from the same (seed, lo, hi)-derived stream with
+// the same subtree total, and the counts of the skipped left subtrees are
+// exactly the node's left binomial draws. This is what lets a PE derive
+// the vertex count and global ID base of any single chunk without
+// materializing all of them (paper §2.2, §4).
+func RecursiveSplitEqualRank(seed, total uint64, buckets, b uint64) (before, at uint64) {
+	if b >= buckets {
+		panic("sampling: bucket index out of range")
+	}
+	lo, hi := uint64(0), buckets
+	for hi-lo > 1 {
+		if total == 0 {
+			return before, 0
+		}
+		mid := lo + (hi-lo)/2
+		frac := float64(mid-lo) / float64(hi-lo)
+		r := prng.New(seed, tagDivide+2, lo, hi)
+		left := dist.Binomial(&r, total, frac)
+		if b < mid {
+			hi, total = mid, left
+		} else {
+			before += left
+			lo, total = mid, total-left
+		}
+	}
+	return before, total
+}
+
+// RecursiveSplitEqualPrefix returns the sum of the bucket counts in
+// [0, b) of the equal-weight recursive split — the prefix-sum query behind
+// global ID derivation. b == buckets returns the full total.
+func RecursiveSplitEqualPrefix(seed, total uint64, buckets, b uint64) uint64 {
+	if b >= buckets {
+		if b == buckets {
+			return total
+		}
+		panic("sampling: bucket index out of range")
+	}
+	before, _ := RecursiveSplitEqualRank(seed, total, buckets, b)
+	return before
+}
+
 func recSplitEqual(seed, total, lo, hi, qlo, qhi uint64, out []uint64) {
 	if total == 0 {
 		return

@@ -261,6 +261,71 @@ func TestRecursiveSplitEqualUniform(t *testing.T) {
 	}
 }
 
+// TestRecursiveSplitEqualRankProperty is the contract behind the O(log P)
+// per-PE setup: for randomized seeds, totals and bucket counts, the rank
+// walk returns exactly (sum of the full split before b, full split at b).
+func TestRecursiveSplitEqualRankProperty(t *testing.T) {
+	f := func(seed uint32, totalRaw uint32, bRaw uint8, pick uint8) bool {
+		total := uint64(totalRaw % 200000)
+		buckets := uint64(bRaw%80) + 1
+		b := uint64(pick) % buckets
+		full := RecursiveSplitEqual(uint64(seed), total, buckets, 0, buckets)
+		var wantBefore uint64
+		for _, c := range full[:b] {
+			wantBefore += c
+		}
+		before, at := RecursiveSplitEqualRank(uint64(seed), total, buckets, b)
+		return before == wantBefore && at == full[b]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecursiveSplitEqualPrefixBefore: PrefixBefore(b) equals summing the
+// full split slice, for every b including the b == buckets total.
+func TestRecursiveSplitEqualPrefixBefore(t *testing.T) {
+	const seed = 123
+	const total = 77777
+	const buckets = 41
+	full := RecursiveSplitEqual(seed, total, buckets, 0, buckets)
+	var sum uint64
+	for b := uint64(0); b <= buckets; b++ {
+		if got := RecursiveSplitEqualPrefix(seed, total, buckets, b); got != sum {
+			t.Errorf("prefix before %d: got %d, want %d", b, got, sum)
+		}
+		if b < buckets {
+			sum += full[b]
+		}
+	}
+}
+
+// TestRecursiveSplitEqualInto: the buffer variant matches the allocating
+// one even when the buffer holds stale values.
+func TestRecursiveSplitEqualInto(t *testing.T) {
+	const seed = 5
+	const total = 31415
+	const buckets = 29
+	want := RecursiveSplitEqual(seed, total, buckets, 0, buckets)
+	out := make([]uint64, buckets)
+	for i := range out {
+		out[i] = ^uint64(0) // stale garbage the call must overwrite
+	}
+	RecursiveSplitEqualInto(seed, total, buckets, 0, buckets, out)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("bucket %d: got %d, want %d", i, out[i], want[i])
+		}
+	}
+	sub := make([]uint64, 10)
+	RecursiveSplitEqualInto(seed, total, buckets, 7, 17, sub)
+	for i := range sub {
+		if sub[i] != want[7+i] {
+			t.Errorf("subrange bucket %d: got %d, want %d", 7+i, sub[i], want[7+i])
+		}
+	}
+}
+
 func TestRecursiveSplitEqualProperty(t *testing.T) {
 	f := func(seed uint32, totalRaw uint32, bRaw uint8) bool {
 		total := uint64(totalRaw % 100000)
