@@ -51,6 +51,10 @@ func BenchmarkFig16StrongRHG(b *testing.B) { benchreg.Group(b, "Fig16StrongRHG")
 func BenchmarkFig17WeakRMAT(b *testing.B)   { benchreg.Group(b, "Fig17WeakRMAT") }
 func BenchmarkFig18StrongRMAT(b *testing.B) { benchreg.Group(b, "Fig18StrongRMAT") }
 
+// --- Undirected triangular streamers (no per-pair buffering) ---
+
+func BenchmarkStreamUndirected(b *testing.B) { benchreg.Group(b, "StreamUndirected") }
+
 // --- Cell-index optimization (flat cell index + O(log P) setup) ---
 
 func BenchmarkCellIndex(b *testing.B) { benchreg.Group(b, "CellIndex") }

@@ -15,6 +15,7 @@
 //	kagen -model rgg2d -n 100000 -stats
 //	kagen -model rgg2d -n 100000000 -pes 256 -stream -format binary -o huge.bin
 //	kagen -model srhg -n 10000000 -pes 64 -stream -format sharded-text -o shards/
+//	kagen -model gnm_undirected -n 100000000 -m 1000000000 -pes 128 -stream -format sharded-binary -o shards/
 package main
 
 import (

@@ -2,10 +2,15 @@
 // and distributional properties of its network model, printing one line
 // per check. Exit status 1 if any check fails.
 //
+// The input is a single edge-list file, or — with -sharded — the
+// directory of per-PE shard files written by `kagen -stream -format
+// sharded-text|sharded-binary`, merged in PE order before checking.
+//
 // Usage:
 //
 //	validate -model gnm_undirected -n 65536 -m 1048576 graph.txt
 //	validate -model rhg -n 1048576 -deg 16 -gamma 2.8 -binary graph.bin
+//	validate -model sbm -n 65536 -pin 0.01 -pout 0.001 -sharded 8 shards/
 package main
 
 import (
@@ -20,36 +25,28 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "", "model the file claims to be")
-		n      = flag.Uint64("n", 0, "number of vertices")
-		m      = flag.Uint64("m", 0, "number of edges (gnm, rmat)")
-		p      = flag.Float64("p", 0, "edge probability (gnp)")
-		r      = flag.Float64("r", 0, "radius (rgg)")
-		deg    = flag.Float64("deg", 0, "average degree (rhg)")
-		gamma  = flag.Float64("gamma", 0, "power-law exponent (rhg)")
-		d      = flag.Uint64("d", 0, "edges per vertex (ba)")
-		scale  = flag.Uint("scale", 0, "log2 vertices (rmat)")
-		blocks = flag.Int("blocks", 2, "communities (sbm)")
-		pin    = flag.Float64("pin", 0, "intra-community probability (sbm)")
-		pout   = flag.Float64("pout", 0, "inter-community probability (sbm)")
-		binary = flag.Bool("binary", false, "input is the binary format")
+		model   = flag.String("model", "", "model the file claims to be")
+		n       = flag.Uint64("n", 0, "number of vertices")
+		m       = flag.Uint64("m", 0, "number of edges (gnm, rmat)")
+		p       = flag.Float64("p", 0, "edge probability (gnp)")
+		r       = flag.Float64("r", 0, "radius (rgg)")
+		deg     = flag.Float64("deg", 0, "average degree (rhg)")
+		gamma   = flag.Float64("gamma", 0, "power-law exponent (rhg)")
+		d       = flag.Uint64("d", 0, "edges per vertex (ba)")
+		scale   = flag.Uint("scale", 0, "log2 vertices (rmat)")
+		blocks  = flag.Int("blocks", 2, "communities (sbm)")
+		pin     = flag.Float64("pin", 0, "intra-community probability (sbm)")
+		pout    = flag.Float64("pout", 0, "inter-community probability (sbm)")
+		binary  = flag.Bool("binary", false, "input is the binary format")
+		sharded = flag.Uint64("sharded", 0, "input is a ShardedSink directory with this many PE shards")
+		prefix  = flag.String("prefix", "", "shard file prefix (default: the model name)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || *model == "" {
-		fmt.Fprintln(os.Stderr, "usage: validate -model <name> [params] file")
+		fmt.Fprintln(os.Stderr, "usage: validate -model <name> [params] file|shard-dir")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	var el *kagen.EdgeList
-	if *binary {
-		el, err = kagen.ReadEdgeListBinary(f)
-	} else {
-		el, err = kagen.ReadEdgeListText(f)
-	}
+	el, err := readInput(flag.Arg(0), *model, *binary, *sharded, *prefix)
 	if err != nil {
 		fatal(err)
 	}
@@ -103,6 +100,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d checks passed\n", len(checks))
+}
+
+// readInput loads the edge list to check: a single text or binary file,
+// or — when sharded > 0 — a ShardedSink directory whose per-PE shards are
+// merged in PE order.
+func readInput(path, model string, binary bool, sharded uint64, prefix string) (*kagen.EdgeList, error) {
+	if sharded > 0 {
+		if prefix == "" {
+			prefix = model
+		}
+		return kagen.ReadShardedEdgeList(path, prefix, binary, sharded)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if binary {
+		return kagen.ReadEdgeListBinary(f)
+	}
+	return kagen.ReadEdgeListText(f)
 }
 
 func fatal(err error) {

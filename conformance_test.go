@@ -13,14 +13,14 @@ var conformanceParams = ModelParams{
 
 // streamableModels documents which registry models expose a streaming
 // view. The materialize-only set (value false) is part of the library
-// contract: the undirected ER variants buffer their triangular chunk
-// pairs, RHG is superseded by sRHG for streaming, and SBM reuses the
-// undirected G(n,p) construction.
+// contract: only the in-memory RHG remains materialize-only, because sRHG
+// supersedes it for streaming. The undirected ER variants and SBM stream
+// their triangular chunk rows pair by pair (no per-pair buffering).
 var streamableModels = map[Model]bool{
 	ModelGNMDirected:   true,
-	ModelGNMUndirected: false,
+	ModelGNMUndirected: true,
 	ModelGNPDirected:   true,
-	ModelGNPUndirected: false,
+	ModelGNPUndirected: true,
 	ModelRGG2D:         true,
 	ModelRGG3D:         true,
 	ModelRDG2D:         true,
@@ -29,7 +29,7 @@ var streamableModels = map[Model]bool{
 	ModelSRHG:          true,
 	ModelBA:            true,
 	ModelRMAT:          true,
-	ModelSBM:           false,
+	ModelSBM:           true,
 }
 
 func newConformanceGen(t *testing.T, model Model, workers int) Generator {

@@ -52,11 +52,12 @@ func streamDigest(t *testing.T, s Streamer) (uint64, uint64) {
 	return count, h.Sum64()
 }
 
-// TestGoldenStreams pins the exact edge stream of the spatial streamers
-// (count and order-dependent hash) at a fixed (seed, PEs). The emission
-// order — cell traversal for RGG, simplex traversal for RDG, sweep order
-// for sRHG — is part of the streaming contract: sinks observe it
-// directly, so changing it silently changes every streamed file.
+// TestGoldenStreams pins the exact edge stream of the streamers (count
+// and order-dependent hash) at a fixed (seed, PEs). The emission order —
+// cell traversal for RGG, simplex traversal for RDG, sweep order for
+// sRHG, triangular chunk-row order for the undirected ER variants and SBM
+// — is part of the streaming contract: sinks observe it directly, so
+// changing it silently changes every streamed file.
 func TestGoldenStreams(t *testing.T) {
 	opt := Options{Seed: 12345, PEs: 4}
 	cases := []struct {
@@ -70,6 +71,9 @@ func TestGoldenStreams(t *testing.T) {
 		{"rdg2d", NewRDGStreamer(300, 2, opt), 1800, 0xf27bb576d30214fd},
 		{"rdg3d", NewRDGStreamer(150, 3, opt), 2354, 0x7aa5a7b658d90345},
 		{"srhg", NewSRHGStreamer(400, 8, 2.8, opt), 2352, 0x1906675efad96fad},
+		{"gnm_undirected", NewGNMStreamer(500, 2000, false, opt), 4000, 0x0ea16647178254c1},
+		{"gnp_undirected", NewGNPStreamer(500, 0.01, false, opt), 2496, 0xf9a7284063168c29},
+		{"sbm", NewSBMStreamer(500, 2, 0.05, 0.005, opt), 6872, 0x078072506fcc5f45},
 	}
 	for _, c := range cases {
 		count, hash := streamDigest(t, c.s)

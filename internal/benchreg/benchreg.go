@@ -24,6 +24,7 @@ import (
 	"repro/internal/rgg"
 	"repro/internal/rhg"
 	"repro/internal/rmat"
+	"repro/internal/sbm"
 	"repro/internal/srhg"
 )
 
@@ -309,6 +310,51 @@ func All() []Case {
 				}
 			})
 		}
+	}
+
+	// --- Undirected triangular streamers (DESIGN.md "Triangular stream
+	// decomposition"): steady-state allocations per streamed chunk must stay
+	// O(1) — the per-pair count map these replaced grew with P. The CI
+	// allocation gate enforces the bound against the committed baseline. ---
+	{
+		const P = 16
+		const m = uint64(1<<16) * P
+		const n = m / 16
+		add("StreamUndirected/gnm/P=16", func(b *testing.B) {
+			p := gnm.Params{N: n, M: m, Directed: false, Seed: 1, Chunks: P}
+			b.ReportAllocs()
+			var edges uint64
+			for i := 0; i < b.N; i++ {
+				gnm.StreamUndirectedChunk(p, P/2, func(graph.Edge) { edges++ })
+			}
+			_ = edges
+		})
+		add("StreamUndirected/gnp/P=16", func(b *testing.B) {
+			// Edge probability chosen so the expected edge count matches the
+			// G(n,m) case above.
+			prob := float64(m) / (float64(n) * float64(n-1) / 2)
+			p := gnp.Params{N: n, P: prob, Seed: 1, Chunks: P}
+			b.ReportAllocs()
+			var edges uint64
+			for i := 0; i < b.N; i++ {
+				gnp.StreamUndirectedChunk(p, P/2, func(graph.Edge) { edges++ })
+			}
+			_ = edges
+		})
+		add("StreamUndirected/sbm/P=16", func(b *testing.B) {
+			prob := float64(m) / (float64(n) * float64(n-1) / 2)
+			p := sbm.PlantedPartition(n, 4, 4*prob, prob/2, 1, P)
+			var edges uint64
+			// One warm call so the single-iteration CI quick run measures
+			// steady state, not first-call setup allocations.
+			sbm.StreamChunk(p, P/2, func(graph.Edge) { edges++ })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sbm.StreamChunk(p, P/2, func(graph.Edge) { edges++ })
+			}
+			_ = edges
+		})
 	}
 
 	// --- Cell-index optimization benches (DESIGN.md "Flat cell index") ---

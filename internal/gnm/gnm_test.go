@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 )
 
@@ -305,4 +306,64 @@ func BenchmarkUndirectedChunk(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		GenerateChunk(p, 7)
 	}
+}
+
+// TestStreamUndirectedMatchesChunk: the streaming sweep must emit exactly
+// the materialized chunk's edges in order, and UndirectedChunkEdgeCount
+// must predict the emission count exactly (it is the pre-sizing contract
+// of the collector).
+func TestStreamUndirectedMatchesChunk(t *testing.T) {
+	for _, chunks := range []uint64{1, 2, 5, 13} {
+		p := Params{N: 500, M: 3000, Seed: 7, Chunks: chunks}
+		for c := uint64(0); c < chunks; c++ {
+			want := GenerateChunk(p, c)
+			if n := UndirectedChunkEdgeCount(p, c); n != uint64(len(want)) {
+				t.Fatalf("chunks=%d pe=%d: predicted %d edges, materialized %d", chunks, c, n, len(want))
+			}
+			got := make([]graph.Edge, 0, len(want))
+			StreamUndirectedChunk(p, c, func(e graph.Edge) { got = append(got, e) })
+			if len(got) != len(want) {
+				t.Fatalf("chunks=%d pe=%d: streamed %d edges, want %d", chunks, c, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("chunks=%d pe=%d: edge %d = %v, want %v", chunks, c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPairEdgeCountsSumToM: the per-pair O(log P) descents must distribute
+// exactly M edges over the triangular chunk matrix — the same invariant the
+// former full splitting recursion guaranteed by construction.
+func TestPairEdgeCountsSumToM(t *testing.T) {
+	for _, chunks := range []uint64{1, 3, 8, 16} {
+		p := Params{N: 640, M: 5000, Seed: 21, Chunks: chunks}
+		ch := core.Chunking{N: p.N, Chunks: chunks}
+		var total uint64
+		for i := uint64(0); i < chunks; i++ {
+			for j := uint64(0); j <= i; j++ {
+				total += pairEdgeCount(p, ch, i, j)
+			}
+		}
+		if total != p.M {
+			t.Errorf("chunks=%d: pair counts sum to %d, want %d", chunks, total, p.M)
+		}
+	}
+}
+
+// TestStreamUndirectedAllocs: the in-order sweep must run in O(1) steady-
+// state allocations per chunk — the per-pair count map it replaced grew
+// with P.
+func TestStreamUndirectedAllocs(t *testing.T) {
+	p := Params{N: 1 << 12, M: 1 << 15, Seed: 1, Chunks: 16}
+	var sink uint64
+	allocs := testing.AllocsPerRun(5, func() {
+		StreamUndirectedChunk(p, 8, func(e graph.Edge) { sink += e.U })
+	})
+	if allocs > 4 {
+		t.Errorf("StreamUndirectedChunk allocates %.0f times per chunk, want O(1)", allocs)
+	}
+	_ = sink
 }

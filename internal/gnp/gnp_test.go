@@ -230,3 +230,40 @@ func BenchmarkDirectedChunkSkip(b *testing.B) {
 		GenerateChunk(p, 7)
 	}
 }
+
+// TestStreamUndirectedMatchesChunk: the streaming sweep must emit exactly
+// the materialized chunk's edges in order, for both sampling code paths.
+func TestStreamUndirectedMatchesChunk(t *testing.T) {
+	for _, skip := range []bool{false, true} {
+		for _, chunks := range []uint64{1, 2, 5, 13} {
+			p := Params{N: 500, P: 0.02, Seed: 7, Chunks: chunks, SkipSampling: skip}
+			for c := uint64(0); c < chunks; c++ {
+				want := GenerateChunk(p, c)
+				got := make([]graph.Edge, 0, len(want))
+				StreamUndirectedChunk(p, c, func(e graph.Edge) { got = append(got, e) })
+				if len(got) != len(want) {
+					t.Fatalf("skip=%v chunks=%d pe=%d: streamed %d edges, want %d", skip, chunks, c, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("skip=%v chunks=%d pe=%d: edge %d = %v, want %v", skip, chunks, c, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamUndirectedAllocs: the pair sweep holds only one pair's sampler
+// state — no per-pair buffering.
+func TestStreamUndirectedAllocs(t *testing.T) {
+	p := Params{N: 1 << 12, P: 0.002, Seed: 1, Chunks: 16}
+	var sink uint64
+	allocs := testing.AllocsPerRun(5, func() {
+		StreamUndirectedChunk(p, 8, func(e graph.Edge) { sink += e.U })
+	})
+	if allocs > 4 {
+		t.Errorf("StreamUndirectedChunk allocates %.0f times per chunk, want O(1)", allocs)
+	}
+	_ = sink
+}

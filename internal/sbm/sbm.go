@@ -146,15 +146,28 @@ func (iv interval) intersect(lo, hi uint64) interval {
 	return iv
 }
 
-// GenerateChunk emits all edges incident to the chunk's vertex range,
-// oriented away from local vertices.
+// GenerateChunk is a thin collector over StreamChunk: it returns all edges
+// incident to the chunk's vertex range, oriented away from local vertices.
 func GenerateChunk(p Params, chunk uint64) []graph.Edge {
+	var edges []graph.Edge
+	StreamChunk(p, chunk, func(e graph.Edge) { edges = append(edges, e) })
+	return edges
+}
+
+// StreamChunk emits all edges incident to the chunk's vertex range through
+// a callback without materializing them. It composes the per-block-pair
+// undirected streams along the chunk's triangular row exactly like the
+// undirected G(n,p) streamer: for each chunk pair the constant-probability
+// sub-rectangles (block pair intersections) are sampled in block order,
+// seeded purely by the (chunk pair, block pair) identity, so both owning
+// PEs regenerate identical edges and the working set is one sub-rectangle's
+// sampler state.
+func StreamChunk(p Params, chunk uint64, emit func(graph.Edge)) {
 	n := p.N()
 	P := p.chunks()
 	ch := core.Chunking{N: n, Chunks: P}
 	starts := p.blockStarts()
 	blocks := len(p.BlockSizes)
-	var edges []graph.Edge
 
 	for other := uint64(0); other < P; other++ {
 		i, j := chunk, other
@@ -163,6 +176,7 @@ func GenerateChunk(p Params, chunk uint64) []graph.Edge {
 		}
 		rows := interval{ch.Start(i), ch.End(i)}
 		cols := interval{ch.Start(j), ch.End(j)}
+		local := chunk == i
 
 		// Sub-rectangles of constant probability: block pair (bi, bj).
 		for bi := 0; bi < blocks; bi++ {
@@ -181,21 +195,22 @@ func GenerateChunk(p Params, chunk uint64) []graph.Edge {
 					// Diagonal chunk: only the strict lower triangle of
 					// the chunk counts; clip the rectangle accordingly.
 					sampleLowerTriangleRect(&r, rowPart, colPart, prob, func(u, v uint64) {
-						edges = append(edges, graph.Edge{U: u, V: v}, graph.Edge{U: v, V: u})
+						// Both endpoints local: emit both orientations.
+						emit(graph.Edge{U: u, V: v})
+						emit(graph.Edge{U: v, V: u})
 					})
 					continue
 				}
 				sampleRect(&r, rowPart, colPart, prob, func(u, v uint64) {
-					if chunk == i {
-						edges = append(edges, graph.Edge{U: u, V: v})
+					if local {
+						emit(graph.Edge{U: u, V: v})
 					} else {
-						edges = append(edges, graph.Edge{U: v, V: u})
+						emit(graph.Edge{U: v, V: u})
 					}
 				})
 			}
 		}
 	}
-	return edges
 }
 
 // sampleRect Bernoulli-samples a full rectangle rows x cols.

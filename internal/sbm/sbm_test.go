@@ -182,3 +182,41 @@ func TestBlockBoundariesVsChunks(t *testing.T) {
 		t.Fatalf("partitioned-output convention broken: %d vs %d", el.Len(), 2*len(und))
 	}
 }
+
+// TestStreamChunkMatchesGenerate: concatenating the streamed chunks must
+// reproduce Generate edge for edge — the SBM streamer is the composition
+// of its per-(chunk pair, block pair) undirected streams in chunk-row
+// order.
+func TestStreamChunkMatchesGenerate(t *testing.T) {
+	p := PlantedPartition(400, 3, 0.05, 0.005, 11, 5)
+	whole, err := Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []graph.Edge
+	for c := uint64(0); c < p.chunks(); c++ {
+		StreamChunk(p, c, func(e graph.Edge) { streamed = append(streamed, e) })
+	}
+	if len(streamed) != whole.Len() {
+		t.Fatalf("streamed %d edges, Generate has %d", len(streamed), whole.Len())
+	}
+	for i := range streamed {
+		if streamed[i] != whole.Edges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, streamed[i], whole.Edges[i])
+		}
+	}
+}
+
+// TestStreamChunkAllocs: the streaming sweep allocates only per-call
+// constants (block starts), never per chunk pair.
+func TestStreamChunkAllocs(t *testing.T) {
+	p := PlantedPartition(1<<12, 4, 0.01, 0.001, 1, 16)
+	var sink uint64
+	allocs := testing.AllocsPerRun(5, func() {
+		StreamChunk(p, 8, func(e graph.Edge) { sink += e.U })
+	})
+	if allocs > 8 {
+		t.Errorf("StreamChunk allocates %.0f times per chunk, want O(1)", allocs)
+	}
+	_ = sink
+}

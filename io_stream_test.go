@@ -20,7 +20,7 @@ func streamRoundTripCases(t *testing.T) []struct {
 		s    Streamer
 		gen  Generator
 	}{
-		{"gnm", NewGNMStreamer(500, 3000, opt), NewGNM(500, 3000, true, opt)},
+		{"gnm", NewGNMStreamer(500, 3000, true, opt), NewGNM(500, 3000, true, opt)},
 		{"rgg2d", NewRGGStreamer(400, 0.08, 2, opt), NewRGG(400, 0.08, 2, opt)},
 		{"srhg", NewSRHGStreamer(400, 8, 2.8, opt), NewSRHG(400, 8, 2.8, opt)},
 	}
@@ -160,7 +160,7 @@ func TestShardedSinkRoundTrip(t *testing.T) {
 // TestStreamSinkErrorPropagates: a failing sink aborts the run and the
 // error surfaces through Stream.
 func TestStreamSinkErrorPropagates(t *testing.T) {
-	s := NewGNMStreamer(500, 3000, Options{Seed: 1, PEs: 4})
+	s := NewGNMStreamer(500, 3000, true, Options{Seed: 1, PEs: 4})
 	sink := &failingSink{failAt: 2}
 	err := Stream(s, 2, sink)
 	if err == nil {
@@ -175,7 +175,7 @@ func TestStreamSinkErrorPropagates(t *testing.T) {
 // a shard file that would later read back as a valid (empty or truncated)
 // edge list — the open shard is deleted at Close.
 func TestShardedSinkAbortRemovesPartialShard(t *testing.T) {
-	s := NewGNMStreamer(500, 3000, Options{Seed: 1, PEs: 4})
+	s := NewGNMStreamer(500, 3000, true, Options{Seed: 1, PEs: 4})
 	for _, binary := range []bool{false, true} {
 		dir := t.TempDir()
 		sink := NewShardedSink(dir, "gnm", binary)

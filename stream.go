@@ -12,6 +12,7 @@ import (
 	"repro/internal/rdg"
 	"repro/internal/rgg"
 	"repro/internal/rmat"
+	"repro/internal/sbm"
 	"repro/internal/srhg"
 )
 
@@ -22,13 +23,16 @@ import (
 // within a chunk is deterministic and identical to the corresponding
 // Generator's Chunk output.
 //
-// Every model streams except the undirected Erdős–Rényi variants, the
-// in-memory RHG and the SBM, which remain materialize-only (see
-// AsStreamer). The sampling-stream models (directed G(n,m)/G(n,p), BA,
-// R-MAT) emit edges straight from their per-chunk sample streams; the
-// spatial models (RGG, RDG) emit neighborhood edges cell by cell while
-// holding only their grid-cell context, and sRHG's annulus sweep emits
-// edges as node tokens meet active requests, holding only the sweep state.
+// Every model streams except the in-memory RHG, which remains
+// materialize-only because sRHG supersedes it for streaming (see
+// AsStreamer). The sampling-stream models (G(n,m), G(n,p), SBM, BA,
+// R-MAT) emit edges straight from their per-chunk sample streams — the
+// undirected ER variants and SBM walk their triangular chunk row pair by
+// pair, deriving each pair's count on demand, so no per-pair buffering
+// remains; the spatial models (RGG, RDG) emit neighborhood edges cell by
+// cell while holding only their grid-cell context, and sRHG's annulus
+// sweep emits edges as node tokens meet active requests, holding only the
+// sweep state.
 //
 // Use Stream to run all PEs of a Streamer on a worker pool and deliver the
 // chunks to a Sink in deterministic PE order.
@@ -42,22 +46,16 @@ type Streamer interface {
 }
 
 // AsStreamer returns the streaming view of a registry Generator. It
-// reports false for the materialize-only models: the undirected
-// G(n,m)/G(n,p) variants (their triangular chunk pairs are buffered
-// internally), the in-memory RHG (superseded by sRHG for streaming) and
-// the SBM (its chunk matrix reuses the undirected G(n,p) construction).
+// reports false for the single materialize-only model: the in-memory RHG,
+// which sRHG supersedes for streaming.
 func AsStreamer(g Generator) (Streamer, bool) {
 	switch t := g.(type) {
 	case gnmGen:
-		if !t.p.Directed {
-			return nil, false
-		}
 		return gnmStreamer{t.p}, true
 	case gnpGen:
-		if !t.p.Directed {
-			return nil, false
-		}
 		return gnpStreamer{t.p}, true
+	case sbmGen:
+		return sbmStreamer{t.p}, true
 	case baGen:
 		return baStreamer{t.p}, true
 	case rmatGen:
@@ -79,11 +77,13 @@ func checkPE(pe, pes uint64) error {
 	return nil
 }
 
-// NewGNMStreamer returns a streaming directed G(n,m) generator.
-// (The undirected variant buffers per chunk pair internally and is not
-// exposed as a streamer.)
-func NewGNMStreamer(n, m uint64, opt Options) Streamer {
-	return gnmStreamer{gnm.Params{N: n, M: m, Directed: true, Seed: opt.Seed, Chunks: opt.pes()}}
+// NewGNMStreamer returns a streaming G(n,m) generator. The directed
+// variant emits each PE's row-partitioned sample stream; the undirected
+// variant walks the PE's triangular chunk row, deriving each pair's edge
+// count by an O(log P) descent of the splitting recursion, so neither
+// buffers anything per pair.
+func NewGNMStreamer(n, m uint64, directed bool, opt Options) Streamer {
+	return gnmStreamer{gnm.Params{N: n, M: m, Directed: directed, Seed: opt.Seed, Chunks: opt.pes()}}
 }
 
 type gnmStreamer struct{ p gnm.Params }
@@ -98,13 +98,15 @@ func (g gnmStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
 	if err := checkPE(pe, g.p.Chunks); err != nil {
 		return err
 	}
-	gnm.StreamDirectedChunk(g.p, pe, emit)
+	gnm.StreamChunk(g.p, pe, emit)
 	return nil
 }
 
-// NewGNPStreamer returns a streaming directed G(n,p) generator.
-func NewGNPStreamer(n uint64, p float64, opt Options) Streamer {
-	return gnpStreamer{gnp.Params{N: n, P: p, Directed: true, Seed: opt.Seed, Chunks: opt.pes()}}
+// NewGNPStreamer returns a streaming G(n,p) generator (directed or
+// undirected; the undirected variant streams its triangular chunk row
+// pair by pair with independent binomial pair counts).
+func NewGNPStreamer(n uint64, p float64, directed bool, opt Options) Streamer {
+	return gnpStreamer{gnp.Params{N: n, P: p, Directed: directed, Seed: opt.Seed, Chunks: opt.pes()}}
 }
 
 type gnpStreamer struct{ p gnp.Params }
@@ -119,7 +121,31 @@ func (g gnpStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
 	if err := checkPE(pe, g.p.Chunks); err != nil {
 		return err
 	}
-	gnp.StreamDirectedChunk(g.p, pe, emit)
+	gnp.StreamChunk(g.p, pe, emit)
+	return nil
+}
+
+// NewSBMStreamer returns a streaming planted-partition stochastic block
+// model generator: per-block undirected G(n,p)-style streams composed
+// along each PE's triangular chunk row, seeded by the (chunk pair, block
+// pair) identity.
+func NewSBMStreamer(n uint64, blocks int, pIn, pOut float64, opt Options) Streamer {
+	return sbmStreamer{sbm.PlantedPartition(n, blocks, pIn, pOut, opt.Seed, opt.pes())}
+}
+
+type sbmStreamer struct{ p sbm.Params }
+
+func (g sbmStreamer) PEs() uint64 { return g.p.Chunks }
+func (g sbmStreamer) N() uint64   { return g.p.N() }
+
+func (g sbmStreamer) StreamChunk(pe uint64, emit func(Edge)) error {
+	if err := g.p.Validate(); err != nil {
+		return err
+	}
+	if err := checkPE(pe, g.p.Chunks); err != nil {
+		return err
+	}
+	sbm.StreamChunk(g.p, pe, emit)
 	return nil
 }
 
@@ -299,6 +325,7 @@ func StreamBatched(s Streamer, workers, batchSize int, sink Sink) error {
 var (
 	_ Streamer = gnmStreamer{}
 	_ Streamer = gnpStreamer{}
+	_ Streamer = sbmStreamer{}
 	_ Streamer = baStreamer{}
 	_ Streamer = rmatStreamer{}
 	_ Streamer = rggStreamer{}

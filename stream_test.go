@@ -13,8 +13,11 @@ func TestStreamersMatchChunk(t *testing.T) {
 		streamer Streamer
 		gen      Generator
 	}{
-		{"gnm", NewGNMStreamer(1000, 8000, opt), NewGNM(1000, 8000, true, opt)},
-		{"gnp", NewGNPStreamer(1000, 0.01, opt), NewGNP(1000, 0.01, true, opt)},
+		{"gnm", NewGNMStreamer(1000, 8000, true, opt), NewGNM(1000, 8000, true, opt)},
+		{"gnm_undirected", NewGNMStreamer(1000, 8000, false, opt), NewGNM(1000, 8000, false, opt)},
+		{"gnp", NewGNPStreamer(1000, 0.01, true, opt), NewGNP(1000, 0.01, true, opt)},
+		{"gnp_undirected", NewGNPStreamer(1000, 0.01, false, opt), NewGNP(1000, 0.01, false, opt)},
+		{"sbm", NewSBMStreamer(1000, 4, 0.04, 0.004, opt), NewSBM(1000, 4, 0.04, 0.004, opt)},
 		{"ba", NewBAStreamer(1000, 3, opt), NewBA(1000, 3, opt)},
 		{"rmat", NewRMATStreamer(10, 5000, opt), NewRMAT(10, 5000, opt)},
 	}
@@ -43,34 +46,46 @@ func TestStreamersMatchChunk(t *testing.T) {
 // TestStreamBatchSizeInvariance: the sink must observe the identical edge
 // sequence for every batch size — batch boundaries carry no meaning. This
 // is the kagen-level referee for the batch pipeline; the pe package holds
-// the generic counterpart.
+// the generic counterpart. The undirected triangular streamers are
+// included explicitly: their per-pair emission must survive arbitrary
+// re-batching too.
 func TestStreamBatchSizeInvariance(t *testing.T) {
 	opt := Options{Seed: 9, PEs: 4}
-	s := NewGNMStreamer(600, 4000, opt)
-	want := &collectSink{}
-	if err := StreamBatched(s, 1, 0, want); err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name Model
+		s    Streamer
+	}{
+		{"gnm", NewGNMStreamer(600, 4000, true, opt)},
+		{"gnm_undirected", NewGNMStreamer(600, 4000, false, opt)},
+		{"gnp_undirected", NewGNPStreamer(600, 0.02, false, opt)},
+		{"sbm", NewSBMStreamer(600, 3, 0.05, 0.005, opt)},
 	}
-	for _, batchSize := range []int{1, 7, 4096} {
-		for _, workers := range []int{1, 3} {
-			got := &collectSink{}
-			if err := StreamBatched(s, workers, batchSize, got); err != nil {
-				t.Fatalf("batch=%d workers=%d: %v", batchSize, workers, err)
+	for _, c := range cases {
+		want := &collectSink{}
+		if err := StreamBatched(c.s, 1, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, batchSize := range []int{1, 7, 4096} {
+			for _, workers := range []int{1, 3} {
+				got := &collectSink{}
+				if err := StreamBatched(c.s, workers, batchSize, got); err != nil {
+					t.Fatalf("%s batch=%d workers=%d: %v", c.name, batchSize, workers, err)
+				}
+				if !got.closed {
+					t.Fatalf("%s batch=%d workers=%d: sink not closed", c.name, batchSize, workers)
+				}
+				sameEdges(t, c.name, "batch-size invariance", got.edges, want.edges)
 			}
-			if !got.closed {
-				t.Fatalf("batch=%d workers=%d: sink not closed", batchSize, workers)
-			}
-			sameEdges(t, "gnm", "batch-size invariance", got.edges, want.edges)
 		}
 	}
 }
 
 func TestStreamerErrors(t *testing.T) {
-	s := NewGNMStreamer(10, 1000, Options{PEs: 2}) // m too large
+	s := NewGNMStreamer(10, 1000, false, Options{PEs: 2}) // m too large
 	if err := s.StreamChunk(0, func(Edge) {}); err == nil {
 		t.Error("invalid params accepted")
 	}
-	s = NewGNMStreamer(100, 50, Options{PEs: 2})
+	s = NewGNMStreamer(100, 50, true, Options{PEs: 2})
 	if err := s.StreamChunk(5, func(Edge) {}); err == nil {
 		t.Error("out-of-range PE accepted")
 	}
@@ -81,7 +96,7 @@ func TestStreamerErrors(t *testing.T) {
 // the expected count without building a slice.
 func TestStreamerCounts(t *testing.T) {
 	const n, m = 1 << 14, 1 << 18
-	s := NewGNMStreamer(n, m, Options{Seed: 3, PEs: 8})
+	s := NewGNMStreamer(n, m, true, Options{Seed: 3, PEs: 8})
 	total := 0
 	for pe := uint64(0); pe < s.PEs(); pe++ {
 		if err := s.StreamChunk(pe, func(Edge) { total++ }); err != nil {
@@ -90,5 +105,23 @@ func TestStreamerCounts(t *testing.T) {
 	}
 	if total != m {
 		t.Fatalf("streamed %d edges, want %d", total, m)
+	}
+}
+
+// TestUndirectedStreamerCounts: the undirected triangular decomposition
+// must emit exactly 2m locally-oriented copies across all PEs — every
+// sampled pair once per endpoint owner — without any PE holding per-pair
+// state.
+func TestUndirectedStreamerCounts(t *testing.T) {
+	const n, m = 1 << 13, 1 << 16
+	s := NewGNMStreamer(n, m, false, Options{Seed: 3, PEs: 8})
+	total := 0
+	for pe := uint64(0); pe < s.PEs(); pe++ {
+		if err := s.StreamChunk(pe, func(Edge) { total++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 2*m {
+		t.Fatalf("streamed %d locally-oriented copies, want %d", total, 2*m)
 	}
 }
