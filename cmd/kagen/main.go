@@ -4,18 +4,22 @@
 // With -stream the graph is never materialized: the model's streaming
 // generator runs all PEs on a worker pool and the edge stream is written
 // straight to the sink in deterministic PE order, so instances larger
-// than memory can be generated (formats: text, binary, sharded-text,
-// sharded-binary, none; with the sharded formats -o names a directory of
-// per-PE files).
+// than memory can be generated (formats: text, binary, text.gz,
+// binary.gz, their sharded-<fmt> variants, and none; with the sharded
+// formats -o names a directory of per-PE files).
+//
+// The `kagen job` subcommands plan, execute, checkpoint and resume
+// multi-process generation runs with zero inter-worker communication;
+// see `kagen job` for usage.
 //
 // Examples:
 //
 //	kagen -model gnm_undirected -n 65536 -m 1048576 -o graph.txt
 //	kagen -model rhg -n 1048576 -deg 16 -gamma 2.8 -pes 8 -format metis -o graph.metis
 //	kagen -model rgg2d -n 100000 -stats
-//	kagen -model rgg2d -n 100000000 -pes 256 -stream -format binary -o huge.bin
-//	kagen -model srhg -n 10000000 -pes 64 -stream -format sharded-text -o shards/
-//	kagen -model gnm_undirected -n 100000000 -m 1000000000 -pes 128 -stream -format sharded-binary -o shards/
+//	kagen -model rgg2d -n 100000000 -pes 256 -stream -format binary.gz -o huge.bin.gz
+//	kagen -model srhg -n 10000000 -pes 64 -stream -format sharded-text.gz -o shards/
+//	kagen job init -dir j -model gnm_undirected -n 100000000 -m 1000000000 -pes 128 -chunks-per-pe 8 -job-workers 4 -format binary.gz
 package main
 
 import (
@@ -29,6 +33,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "job" {
+		jobMain(os.Args[2:])
+		return
+	}
 	var (
 		model   = flag.String("model", "gnm_undirected", "model: "+modelList())
 		n       = flag.Uint64("n", 1<<16, "number of vertices")
@@ -46,7 +54,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("o", "", "output file (default: stdout; a directory for sharded formats)")
-		format  = flag.String("format", "text", "output format: text, binary, metis, none; with -stream also sharded-text, sharded-binary")
+		format  = flag.String("format", "text", "output format: text, binary, metis, none; with -stream also text.gz, binary.gz and sharded-<fmt>")
 		stats   = flag.Bool("stats", false, "print graph statistics to stderr")
 		stream  = flag.Bool("stream", false, "stream edges to the sink without materializing the graph")
 	)
@@ -130,36 +138,35 @@ func runStream(gen kagen.Generator, model, format, out string, workers int, stat
 	}
 
 	var sink kagen.Sink
-	switch format {
-	case "text", "binary":
-		if format == "binary" && out == "" {
-			// The edge count is patched into the header at Close, which
-			// needs a seekable file — catch this before hours of streaming.
-			fatal(fmt.Errorf("format binary with -stream needs -o <file> (stdout cannot seek)"))
+	switch {
+	case format == "none":
+		sink = discardSink{}
+	case strings.HasPrefix(format, "sharded-"):
+		f, err := kagen.ParseFormat(strings.TrimPrefix(format, "sharded-"))
+		if err != nil {
+			fatal(err)
 		}
-		w := os.Stdout
-		if out != "" {
-			f, err := os.Create(out)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			w = f
-		}
-		if format == "text" {
-			sink = kagen.NewTextSink(w)
-		} else {
-			sink = kagen.NewBinarySink(w)
-		}
-	case "sharded-text", "sharded-binary":
 		if out == "" {
 			fatal(fmt.Errorf("format %q needs -o <directory>", format))
 		}
-		sink = kagen.NewShardedSink(out, model, format == "sharded-binary")
-	case "none":
-		sink = discardSink{}
+		sink = kagen.NewShardedSink(out, model, f)
 	default:
-		fatal(fmt.Errorf("unknown streaming format %q", format))
+		f, err := kagen.ParseFormat(format)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if out != "" {
+			fh, err := os.Create(out)
+			if err != nil {
+				fatal(err)
+			}
+			defer fh.Close()
+			w = fh
+		}
+		// A non-seekable output (piped stdout) makes the binary sink fall
+		// back to sentinel framing, which readers accept.
+		sink = kagen.NewFormatSink(w, f)
 	}
 
 	counting := &countingSink{Sink: sink}

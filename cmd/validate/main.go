@@ -2,15 +2,22 @@
 // and distributional properties of its network model, printing one line
 // per check. Exit status 1 if any check fails.
 //
-// The input is a single edge-list file, or — with -sharded — the
-// directory of per-PE shard files written by `kagen -stream -format
-// sharded-text|sharded-binary`, merged in PE order before checking.
+// The input is a single edge-list file in any streaming format (text,
+// binary, text.gz, binary.gz), or — with -sharded — the directory of
+// per-PE shard files written by `kagen -stream -format sharded-<fmt>`,
+// merged in PE order before checking. With -job the argument is a kagen
+// job directory: the model and its parameters come from the job spec, the
+// worker manifests decide which PE shards are complete, only those are
+// read, and unfinished PEs are reported as resumable gaps (an incomplete
+// job fails the "job complete" check, so exit status still gates CI).
 //
 // Usage:
 //
 //	validate -model gnm_undirected -n 65536 -m 1048576 graph.txt
 //	validate -model rhg -n 1048576 -deg 16 -gamma 2.8 -binary graph.bin
 //	validate -model sbm -n 65536 -pin 0.01 -pout 0.001 -sharded 8 shards/
+//	validate -model rgg2d -n 1000000 -format binary.gz graph.bin.gz
+//	validate -job jobdir/
 package main
 
 import (
@@ -20,72 +27,170 @@ import (
 
 	kagen "repro"
 	"repro/internal/core"
+	"repro/internal/job"
 	"repro/internal/validate"
 )
 
 func main() {
 	var (
-		model   = flag.String("model", "", "model the file claims to be")
-		n       = flag.Uint64("n", 0, "number of vertices")
-		m       = flag.Uint64("m", 0, "number of edges (gnm, rmat)")
-		p       = flag.Float64("p", 0, "edge probability (gnp)")
-		r       = flag.Float64("r", 0, "radius (rgg)")
-		deg     = flag.Float64("deg", 0, "average degree (rhg)")
-		gamma   = flag.Float64("gamma", 0, "power-law exponent (rhg)")
-		d       = flag.Uint64("d", 0, "edges per vertex (ba)")
-		scale   = flag.Uint("scale", 0, "log2 vertices (rmat)")
-		blocks  = flag.Int("blocks", 2, "communities (sbm)")
-		pin     = flag.Float64("pin", 0, "intra-community probability (sbm)")
-		pout    = flag.Float64("pout", 0, "inter-community probability (sbm)")
-		binary  = flag.Bool("binary", false, "input is the binary format")
-		sharded = flag.Uint64("sharded", 0, "input is a ShardedSink directory with this many PE shards")
-		prefix  = flag.String("prefix", "", "shard file prefix (default: the model name)")
+		model    = flag.String("model", "", "model the file claims to be")
+		n        = flag.Uint64("n", 0, "number of vertices")
+		m        = flag.Uint64("m", 0, "number of edges (gnm, rmat)")
+		p        = flag.Float64("p", 0, "edge probability (gnp)")
+		r        = flag.Float64("r", 0, "radius (rgg)")
+		deg      = flag.Float64("deg", 0, "average degree (rhg)")
+		gamma    = flag.Float64("gamma", 0, "power-law exponent (rhg)")
+		d        = flag.Uint64("d", 0, "edges per vertex (ba)")
+		scale    = flag.Uint("scale", 0, "log2 vertices (rmat)")
+		blocks   = flag.Int("blocks", 2, "communities (sbm)")
+		pin      = flag.Float64("pin", 0, "intra-community probability (sbm)")
+		pout     = flag.Float64("pout", 0, "inter-community probability (sbm)")
+		binary   = flag.Bool("binary", false, "input is the binary format (shorthand for -format binary)")
+		informat = flag.String("format", "", "input format: text, binary, text.gz, binary.gz (default: text, or binary with -binary)")
+		sharded  = flag.Uint64("sharded", 0, "input is a ShardedSink directory with this many PE shards")
+		prefix   = flag.String("prefix", "", "shard file prefix (default: the model name)")
+		jobDir   = flag.Bool("job", false, "input is a kagen job directory (model and parameters from its spec)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 || *model == "" {
-		fmt.Fprintln(os.Stderr, "usage: validate -model <name> [params] file|shard-dir")
+	if flag.NArg() != 1 || (*model == "" && !*jobDir) {
+		fmt.Fprintln(os.Stderr, "usage: validate -model <name> [params] file|shard-dir\n       validate -job jobdir")
 		os.Exit(2)
 	}
-	el, err := readInput(flag.Arg(0), *model, *binary, *sharded, *prefix)
+	if *jobDir {
+		report(validateJob(flag.Arg(0)))
+		return
+	}
+	format := kagen.FormatText
+	if *binary {
+		format = kagen.FormatBinary
+	}
+	if *informat != "" {
+		var err error
+		if format, err = kagen.ParseFormat(*informat); err != nil {
+			fatal(err)
+		}
+	}
+	el, err := readInput(flag.Arg(0), *model, format, *sharded, *prefix)
 	if err != nil {
 		fatal(err)
 	}
+	checks, err := modelChecks(*model, el, kagen.ModelParams{
+		N: *n, M: *m, P: *p, R: *r, AvgDeg: *deg, Gamma: *gamma, D: *d,
+		Scale: *scale, Blocks: *blocks, PIn: *pin, POut: *pout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report(checks)
+}
 
-	var checks []validate.Check
-	switch kagen.Model(*model) {
+// modelChecks dispatches to the model's check suite, after applying the
+// generator registry's parameter defaults — validation always checks
+// against exactly what New would have generated with.
+func modelChecks(model string, el *kagen.EdgeList, mp kagen.ModelParams) ([]validate.Check, error) {
+	mp = kagen.ResolveModelParams(kagen.Model(model), mp)
+	switch kagen.Model(model) {
 	case kagen.ModelGNMDirected:
-		checks = validate.GNM(el, *n, *m, true)
+		return validate.GNM(el, mp.N, mp.M, true), nil
 	case kagen.ModelGNMUndirected:
-		checks = validate.GNM(el, *n, *m, false)
+		return validate.GNM(el, mp.N, mp.M, false), nil
 	case kagen.ModelGNPDirected:
-		checks = validate.GNP(el, *n, *p, true)
+		return validate.GNP(el, mp.N, mp.P, true), nil
 	case kagen.ModelGNPUndirected:
-		checks = validate.GNP(el, *n, *p, false)
+		return validate.GNP(el, mp.N, mp.P, false), nil
 	case kagen.ModelRGG2D:
-		checks = validate.RGG(el, *n, *r, 2)
+		return validate.RGG(el, mp.N, mp.R, 2), nil
 	case kagen.ModelRGG3D:
-		checks = validate.RGG(el, *n, *r, 3)
+		return validate.RGG(el, mp.N, mp.R, 3), nil
 	case kagen.ModelRDG2D:
-		checks = validate.RDG(el, *n, 2)
+		return validate.RDG(el, mp.N, 2), nil
 	case kagen.ModelRDG3D:
-		checks = validate.RDG(el, *n, 3)
+		return validate.RDG(el, mp.N, 3), nil
 	case kagen.ModelRHG, kagen.ModelSRHG:
-		checks = validate.RHG(el, *n, *deg, *gamma)
+		return validate.RHG(el, mp.N, mp.AvgDeg, mp.Gamma), nil
 	case kagen.ModelBA:
-		checks = validate.BA(el, *n, *d)
+		return validate.BA(el, mp.N, mp.D), nil
 	case kagen.ModelRMAT:
-		checks = validate.RMAT(el, *scale, *m)
+		return validate.RMAT(el, mp.Scale, mp.M), nil
 	case kagen.ModelSBM:
-		ch := core.Chunking{N: *n, Chunks: uint64(*blocks)}
-		sizes := make([]uint64, *blocks)
+		ch := core.Chunking{N: mp.N, Chunks: uint64(mp.Blocks)}
+		sizes := make([]uint64, mp.Blocks)
 		for i := range sizes {
 			sizes[i] = ch.Size(uint64(i))
 		}
-		checks = validate.SBM(el, sizes, *pin, *pout)
-	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		return validate.SBM(el, sizes, mp.PIn, mp.POut), nil
 	}
+	return nil, fmt.Errorf("unknown model %q", model)
+}
 
+// validateJob checks a job directory: completed shards must parse, the
+// job must be complete (resumable gaps are reported, and fail the check),
+// and — once complete — the merged output must pass the model suite with
+// the parameters pinned in the job spec.
+func validateJob(dir string) []validate.Check {
+	st, err := job.Inspect(dir)
+	if err != nil {
+		fatal(err)
+	}
+	spec := st.Spec
+	fmt.Printf("job %s: %s, seed %d, %d PEs x %d chunks, format %s\n",
+		dir, spec.Model, spec.Seed, spec.PEs, spec.ChunksPerPE, spec.Format)
+
+	var checks []validate.Check
+	format := spec.ShardFormat()
+	completed := st.CompletedPEs()
+	merged := &kagen.EdgeList{}
+	parseErr := error(nil)
+	for _, pe := range completed {
+		el, err := kagen.ReadEdgeListFile(job.ShardPath(dir, pe, format), format)
+		if err != nil {
+			parseErr = err
+			break
+		}
+		if el.N > merged.N {
+			merged.N = el.N
+		}
+		merged.Edges = append(merged.Edges, el.Edges...)
+	}
+	detail := fmt.Sprintf("%d completed PE shard(s), %d edges", len(completed), merged.Len())
+	if parseErr != nil {
+		detail = parseErr.Error()
+	}
+	checks = append(checks, validate.Check{Name: "completed shards parse", Passed: parseErr == nil, Detail: detail})
+
+	gaps := st.Gaps()
+	gapDetail := "no resumable gaps"
+	if len(gaps) > 0 {
+		gapDetail = fmt.Sprintf("%d PE(s) resumable:", len(gaps))
+		for _, g := range gaps {
+			gapDetail += fmt.Sprintf(" pe%d@%d/%d(w%d)", g.PE, g.ChunksDone, g.Chunks, g.Worker)
+		}
+	}
+	checks = append(checks, validate.Check{Name: "job complete", Passed: len(gaps) == 0, Detail: gapDetail})
+
+	if len(gaps) == 0 && parseErr == nil {
+		mp := specModelParams(spec)
+		mc, err := modelChecks(spec.Model, merged, mp)
+		if err != nil {
+			fatal(err)
+		}
+		checks = append(checks, mc...)
+	}
+	return checks
+}
+
+// specModelParams maps a job spec to the validator's parameter union;
+// modelChecks resolves the registry defaults on top.
+func specModelParams(spec job.Spec) kagen.ModelParams {
+	return kagen.ModelParams{
+		N: spec.N, M: spec.M, P: spec.Prob, R: spec.R, AvgDeg: spec.AvgDeg,
+		Gamma: spec.Gamma, D: spec.D, Scale: spec.Scale, Blocks: spec.Blocks,
+		PIn: spec.PIn, POut: spec.POut,
+	}
+}
+
+// report prints the check lines and exits 1 if any failed.
+func report(checks []validate.Check) {
 	failed := 0
 	for _, c := range checks {
 		status := "ok  "
@@ -102,25 +207,17 @@ func main() {
 	fmt.Printf("all %d checks passed\n", len(checks))
 }
 
-// readInput loads the edge list to check: a single text or binary file,
-// or — when sharded > 0 — a ShardedSink directory whose per-PE shards are
-// merged in PE order.
-func readInput(path, model string, binary bool, sharded uint64, prefix string) (*kagen.EdgeList, error) {
+// readInput loads the edge list to check: a single edge-list file in any
+// streaming format, or — when sharded > 0 — a ShardedSink directory whose
+// per-PE shards are merged in PE order.
+func readInput(path, model string, format kagen.Format, sharded uint64, prefix string) (*kagen.EdgeList, error) {
 	if sharded > 0 {
 		if prefix == "" {
 			prefix = model
 		}
-		return kagen.ReadShardedEdgeList(path, prefix, binary, sharded)
+		return kagen.ReadShardedEdgeList(path, prefix, format, sharded)
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if binary {
-		return kagen.ReadEdgeListBinary(f)
-	}
-	return kagen.ReadEdgeListText(f)
+	return kagen.ReadEdgeListFile(path, format)
 }
 
 func fatal(err error) {

@@ -1,0 +1,180 @@
+package kagen
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Format identifies a streaming edge-list encoding. The gzip-compressed
+// variants are first-class formats: long streaming runs write them
+// directly (no recompression pass), and every reader in the repository —
+// ReadEdgeList, cmd/validate, the job runner's merge — decompresses them
+// transparently. Compressed binary streams carry the StreamingEdgeCount
+// sentinel in their header (the count cannot be patched into compressed
+// bytes), which ReadEdgeListBinary reads as until-EOF framing.
+type Format string
+
+// Supported streaming formats.
+const (
+	FormatText     Format = "text"
+	FormatBinary   Format = "binary"
+	FormatTextGz   Format = "text.gz"
+	FormatBinaryGz Format = "binary.gz"
+)
+
+// StreamingEdgeCount is the sentinel header edge count of binary streams
+// whose writer cannot seek (compressed or piped output); see
+// ReadEdgeListBinary.
+const StreamingEdgeCount = graph.StreamingEdgeCount
+
+// Formats lists the streaming formats.
+func Formats() []Format {
+	return []Format{FormatText, FormatBinary, FormatTextGz, FormatBinaryGz}
+}
+
+// ParseFormat parses a format name as written on a command line or in a
+// job spec.
+func ParseFormat(s string) (Format, error) {
+	switch f := Format(s); f {
+	case FormatText, FormatBinary, FormatTextGz, FormatBinaryGz:
+		return f, nil
+	}
+	return "", fmt.Errorf("kagen: unknown format %q (want text, binary, text.gz or binary.gz)", s)
+}
+
+// Binary reports whether the format's payload is the binary edge-list
+// encoding.
+func (f Format) Binary() bool { return f == FormatBinary || f == FormatBinaryGz }
+
+// Compressed reports whether the format is gzip-compressed.
+func (f Format) Compressed() bool { return f == FormatTextGz || f == FormatBinaryGz }
+
+// Ext returns the file extension of the format (without leading dot).
+func (f Format) Ext() string {
+	switch f {
+	case FormatBinary:
+		return "bin"
+	case FormatTextGz:
+		return "txt.gz"
+	case FormatBinaryGz:
+		return "bin.gz"
+	default:
+		return "txt"
+	}
+}
+
+// AppendEdges appends the payload encoding of a batch of edges to buf and
+// returns the grown buffer: "u v\n" lines for the text formats, 16-byte
+// little-endian (u, v) records for the binary formats. Headers are not
+// included; see AppendHeader.
+func (f Format) AppendEdges(buf []byte, edges []Edge) []byte {
+	if f.Binary() {
+		return appendEdgeBinary(buf, edges)
+	}
+	return appendEdgeText(buf, edges)
+}
+
+// AppendHeader appends the format's stream header for an instance with n
+// vertices: "# n\n" for text, (n, StreamingEdgeCount) for binary. The
+// binary sentinel makes the header final — resumable and compressed
+// writers never need to come back and patch an edge count.
+func (f Format) AppendHeader(buf []byte, n uint64) []byte {
+	if f.Binary() {
+		return appendBinaryHeader(buf, n, StreamingEdgeCount)
+	}
+	return fmt.Appendf(buf, "# %d\n", n)
+}
+
+// NewFormatSink returns a Sink writing the format to w. The plain binary
+// format patches the true edge count into the header at Close when w
+// supports random-access writes and falls back to the StreamingEdgeCount
+// sentinel otherwise. The probe matters: a piped stdout is an *os.File
+// that satisfies io.WriteSeeker but fails every Seek, and a shell
+// `>> file` redirect seeks fine but silently redirects the Close-time
+// header patch to EOF (O_APPEND) — both must select sentinel framing up
+// front rather than surface as a corrupt file or a lost run at Close.
+// The compressed formats always use sentinel framing.
+func NewFormatSink(w io.Writer, f Format) Sink {
+	switch f {
+	case FormatBinary:
+		if ws, ok := w.(io.WriteSeeker); ok && seekPatchable(ws) {
+			return NewBinarySink(ws)
+		}
+		return NewBinaryStreamSink(w)
+	case FormatTextGz:
+		gz := gzip.NewWriter(w)
+		return &gzSink{inner: NewTextSink(gz), gz: gz}
+	case FormatBinaryGz:
+		gz := gzip.NewWriter(w)
+		return &gzSink{inner: NewBinaryStreamSink(gz), gz: gz}
+	default:
+		return NewTextSink(w)
+	}
+}
+
+// ReadEdgeList reads one edge-list stream in the given format,
+// decompressing the gzip variants.
+func ReadEdgeList(r io.Reader, f Format) (*EdgeList, error) {
+	if f.Compressed() {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	if f.Binary() {
+		return ReadEdgeListBinary(r)
+	}
+	return ReadEdgeListText(r)
+}
+
+// ReadEdgeListFile reads one edge-list file in the given format.
+func ReadEdgeListFile(path string, f Format) (*EdgeList, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ReadEdgeList(fh, f)
+}
+
+// seekPatchable reports whether ws supports the seek-back header patch:
+// Seek must work (rules out pipes and terminals) and, for an *os.File,
+// positioned writes must not be redirected to EOF by append mode (an
+// empty WriteAt is a no-op on a regular file but fails immediately on a
+// file opened with O_APPEND).
+func seekPatchable(ws io.WriteSeeker) bool {
+	if _, err := ws.Seek(0, io.SeekCurrent); err != nil {
+		return false
+	}
+	if f, ok := ws.(*os.File); ok {
+		if _, err := f.WriteAt(nil, 0); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// gzSink funnels an inner sink through a gzip stream: Close first flushes
+// the inner sink's buffers into the gzip writer, then finishes the gzip
+// member.
+type gzSink struct {
+	inner Sink
+	gz    *gzip.Writer
+}
+
+func (s *gzSink) Begin(n, pes uint64) error           { return s.inner.Begin(n, pes) }
+func (s *gzSink) Batch(pe uint64, edges []Edge) error { return s.inner.Batch(pe, edges) }
+func (s *gzSink) EndPE(pe uint64) error               { return s.inner.EndPE(pe) }
+func (s *gzSink) Close() error {
+	err := s.inner.Close()
+	if cerr := s.gz.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,138 @@
+package kagen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseFormat: every supported name round-trips, anything else fails.
+func TestParseFormat(t *testing.T) {
+	for _, f := range Formats() {
+		got, err := ParseFormat(string(f))
+		if err != nil || got != f {
+			t.Errorf("ParseFormat(%q) = %v, %v", f, got, err)
+		}
+	}
+	for _, bad := range []string{"", "texty", "gzip", "binary.gzip", "sharded-text"} {
+		if _, err := ParseFormat(bad); err == nil {
+			t.Errorf("ParseFormat(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFormatSinkRoundTrip: streaming through every format's sink and
+// reading the file back reproduces the materialized instance, compressed
+// formats included.
+func TestFormatSinkRoundTrip(t *testing.T) {
+	for _, c := range streamRoundTripCases(t) {
+		want, err := c.gen.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, format := range Formats() {
+			path := filepath.Join(t.TempDir(), "edges."+format.Ext())
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Stream(c.s, 3, NewFormatSink(f, format)); err != nil {
+				t.Fatalf("%s/%s: %v", c.name, format, err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadEdgeListFile(path, format)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.name, format, err)
+			}
+			requireSameList(t, c.name+"/"+string(format), got, want)
+		}
+	}
+}
+
+// TestBinaryStreamSinkSentinel: the sentinel-framed binary stream needs
+// no seeking and reads back until EOF; a torn trailing record is an
+// error, not silent truncation.
+func TestBinaryStreamSinkSentinel(t *testing.T) {
+	s := NewGNMStreamer(300, 1500, true, Options{Seed: 4, PEs: 3})
+	var buf bytes.Buffer
+	if err := Stream(s, 2, NewBinaryStreamSink(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewGNM(300, 1500, true, Options{Seed: 4, PEs: 3}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeListBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameList(t, "sentinel", got, want)
+
+	torn := buf.Bytes()[:buf.Len()-7]
+	if _, err := ReadEdgeListBinary(bytes.NewReader(torn)); err == nil {
+		t.Fatal("torn sentinel stream read back without error")
+	}
+}
+
+// TestStreamChunksFromMatchesFullStream: the resumable entry point is a
+// pure suffix/slice of the full stream — for every split point, streaming
+// [0, k) and then [k, P) concatenates to exactly the full run's sequence.
+func TestStreamChunksFromMatchesFullStream(t *testing.T) {
+	s := NewRGGStreamer(400, 0.08, 2, Options{Seed: 21, PEs: 6})
+	full := collectStream(t, s, 0, s.PEs())
+	for k := uint64(0); k <= s.PEs(); k++ {
+		head := collectStream(t, s, 0, k)
+		tail := collectStream(t, s, k, s.PEs()-k)
+		if len(head)+len(tail) != len(full) {
+			t.Fatalf("split at %d: %d+%d edges, want %d", k, len(head), len(tail), len(full))
+		}
+		for i, e := range full {
+			var got Edge
+			if i < len(head) {
+				got = head[i]
+			} else {
+				got = tail[i-len(head)]
+			}
+			if got != e {
+				t.Fatalf("split at %d: edge %d = %v, want %v", k, i, got, e)
+			}
+		}
+	}
+}
+
+// TestStreamChunksFromRejectsBadRange: out-of-range chunk windows error
+// and still close the sink.
+func TestStreamChunksFromRejectsBadRange(t *testing.T) {
+	s := NewGNMStreamer(300, 1500, true, Options{Seed: 4, PEs: 3})
+	sink := &failingSink{failAt: ^uint64(0)}
+	if err := StreamChunksFrom(s, 2, 2, 1, 0, sink); err == nil {
+		t.Fatal("range past PEs accepted")
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed after range error")
+	}
+}
+
+// collectStream gathers the edges of a chunk range through a memory sink.
+func collectStream(t *testing.T, s Streamer, first, count uint64) []Edge {
+	t.Helper()
+	var edges []Edge
+	sink := &rangeCollectSink{edges: &edges}
+	if err := StreamChunksFrom(s, first, count, 3, 64, sink); err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+type rangeCollectSink struct{ edges *[]Edge }
+
+func (c *rangeCollectSink) Begin(n, pes uint64) error { return nil }
+func (c *rangeCollectSink) Batch(pe uint64, e []Edge) error {
+	*c.edges = append(*c.edges, e...)
+	return nil
+}
+func (c *rangeCollectSink) EndPE(pe uint64) error { return nil }
+func (c *rangeCollectSink) Close() error          { return nil }

@@ -28,6 +28,15 @@ type T2 struct {
 	stack    []int32
 	edgeTri  map[int32]int32 // boundary edge start vertex -> new tri
 	edgeTri2 map[int32]int32 // boundary edge end vertex -> new tri
+	bnd      []boundary2
+	newTris  []int32
+}
+
+// boundary2 is one cavity boundary edge, oriented CCW seen from inside
+// the cavity, with the triangle outside it (-1 at the hull).
+type boundary2 struct {
+	a, b    int32
+	outside int32
 }
 
 // NewT2 creates a triangulation whose super-triangle encloses the domain
@@ -47,6 +56,22 @@ func NewT2(hint int) *T2 {
 	t.Tris = append(t.Tris, Tri{V: [3]int32{0, 1, 2}, N: [3]int32{-1, -1, -1}})
 	t.dead = append(t.dead, false)
 	return t
+}
+
+// Reset rewinds the triangulation to its freshly constructed state — only
+// the super-triangle — while keeping every backing allocation (point and
+// triangle stores, scratch buffers, maps). A caller that triangulates
+// many point sets of similar size reuses one T2 and allocates nothing in
+// steady state; the insertion behaviour after Reset is bit-identical to a
+// fresh NewT2.
+func (t *T2) Reset() {
+	t.Pts = t.Pts[:3]
+	t.Tris = t.Tris[:1]
+	t.Tris[0] = Tri{V: [3]int32{0, 1, 2}, N: [3]int32{-1, -1, -1}}
+	t.dead = t.dead[:1]
+	t.dead[0] = false
+	t.free = t.free[:0]
+	t.last = 0
 }
 
 // Insert adds a point and returns its index.
@@ -89,11 +114,7 @@ func (t *T2) Insert(p [2]float64) int32 {
 	for k := range t.edgeTri2 {
 		delete(t.edgeTri2, k)
 	}
-	type boundary struct {
-		a, b    int32 // edge, oriented CCW seen from inside the cavity
-		outside int32
-	}
-	var edges []boundary
+	edges := t.bnd[:0]
 	for _, cur := range t.cavity {
 		tri := t.Tris[cur]
 		for i := 0; i < 3; i++ {
@@ -101,13 +122,14 @@ func (t *T2) Insert(p [2]float64) int32 {
 			if nb >= 0 && t.inCav[nb] {
 				continue
 			}
-			edges = append(edges, boundary{
+			edges = append(edges, boundary2{
 				a: tri.V[(i+1)%3], b: tri.V[(i+2)%3], outside: nb,
 			})
 		}
 	}
+	t.bnd = edges
 
-	newTris := make([]int32, 0, len(edges))
+	newTris := t.newTris[:0]
 	for _, e := range edges {
 		ti := t.alloc()
 		t.Tris[ti] = Tri{V: [3]int32{e.a, e.b, idx}, N: [3]int32{-1, -1, e.outside}}
@@ -139,6 +161,7 @@ func (t *T2) Insert(p [2]float64) int32 {
 		t.free = append(t.free, cur)
 	}
 	t.last = newTris[0]
+	t.newTris = newTris
 	return idx
 }
 

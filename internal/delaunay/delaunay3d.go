@@ -22,9 +22,28 @@ type T3 struct {
 	free []int32
 	last int32
 
-	cavity []int32
-	inCav  map[int32]bool
-	stack  []int32
+	cavity  []int32
+	inCav   map[int32]bool
+	stack   []int32
+	faces   []boundary3
+	newTets []int32
+	// edgeMap matches the two boundary faces sharing each cavity edge; by
+	// the matching invariant it is empty again after every insertion, so
+	// it is reused without clearing.
+	edgeMap map[[2]int32]slotRef
+}
+
+// boundary3 is one cavity boundary face with the tetrahedron outside it
+// (-1 at the hull).
+type boundary3 struct {
+	f       [3]int32
+	outside int32
+}
+
+// slotRef addresses one neighbour slot of a tetrahedron.
+type slotRef struct {
+	tet  int32
+	slot int
 }
 
 // NewT3 creates a tetrahedralization whose super-tetrahedron encloses the
@@ -45,6 +64,19 @@ func NewT3(hint int) *T3 {
 	t.Tets = append(t.Tets, Tet{V: [4]int32{0, 1, 2, 3}, N: [4]int32{-1, -1, -1, -1}})
 	t.dead = append(t.dead, false)
 	return t
+}
+
+// Reset rewinds the tetrahedralization to its freshly constructed state —
+// only the super-tetrahedron — keeping every backing allocation; see
+// T2.Reset.
+func (t *T3) Reset() {
+	t.Pts = t.Pts[:4]
+	t.Tets = t.Tets[:1]
+	t.Tets[0] = Tet{V: [4]int32{0, 1, 2, 3}, N: [4]int32{-1, -1, -1, -1}}
+	t.dead = t.dead[:1]
+	t.dead[0] = false
+	t.free = t.free[:0]
+	t.last = 0
 }
 
 // Insert adds a point and returns its index.
@@ -77,11 +109,7 @@ func (t *T3) Insert(p [3]float64) int32 {
 		}
 	}
 
-	type boundary struct {
-		f       [3]int32
-		outside int32
-	}
-	var faces []boundary
+	faces := t.faces[:0]
 	for _, cur := range t.cavity {
 		tt := t.Tets[cur]
 		for i := 0; i < 4; i++ {
@@ -90,22 +118,22 @@ func (t *T3) Insert(p [3]float64) int32 {
 				continue
 			}
 			fo := faceOrder[i]
-			faces = append(faces, boundary{
+			faces = append(faces, boundary3{
 				f:       [3]int32{tt.V[fo[0]], tt.V[fo[1]], tt.V[fo[2]]},
 				outside: nb,
 			})
 		}
 	}
+	t.faces = faces
 
 	// Create one new tet per boundary face and link internal faces via the
 	// shared-edge map (each edge of the boundary polyhedron is shared by
 	// exactly two faces).
-	type slotRef struct {
-		tet  int32
-		slot int
+	if t.edgeMap == nil {
+		t.edgeMap = make(map[[2]int32]slotRef, len(faces)*3/2)
 	}
-	edgeMap := make(map[[2]int32]slotRef, len(faces)*3/2)
-	newTets := make([]int32, 0, len(faces))
+	edgeMap := t.edgeMap
+	newTets := t.newTets[:0]
 	for _, bf := range faces {
 		ti := t.alloc()
 		t.Tets[ti] = Tet{
@@ -148,6 +176,7 @@ func (t *T3) Insert(p [3]float64) int32 {
 		t.free = append(t.free, cur)
 	}
 	t.last = newTets[0]
+	t.newTets = newTets
 	return idx
 }
 

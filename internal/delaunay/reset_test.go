@@ -1,0 +1,81 @@
+package delaunay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestResetBitIdentical2D: triangulating a point set on a Reset T2 — even
+// one previously used for a different, larger set — produces exactly the
+// triangle set of a fresh triangulation. The RDG generator relies on this
+// to pool one triangulation across a PE's chunks without changing the
+// instance definition.
+func TestResetBitIdentical2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sets := make([][][2]float64, 3)
+	for i := range sets {
+		pts := make([][2]float64, 40+i*60)
+		for j := range pts {
+			pts[j] = [2]float64{rng.Float64(), rng.Float64()}
+		}
+		sets[i] = pts
+	}
+	pooled := NewT2(8)
+	// Warm the pool on the largest set so later Resets shrink, too.
+	for _, p := range sets[2] {
+		pooled.Insert(p)
+	}
+	for _, pts := range sets {
+		fresh := Triangulate2D(pts)
+		pooled.Reset()
+		for _, p := range pts {
+			pooled.Insert(p)
+		}
+		var want, got [][3]int32
+		fresh.Triangles(func(a, b, c int32) { want = append(want, [3]int32{a, b, c}) })
+		pooled.Triangles(func(a, b, c int32) { got = append(got, [3]int32{a, b, c}) })
+		if len(want) != len(got) {
+			t.Fatalf("%d points: %d triangles after reset, want %d", len(pts), len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%d points: triangle %d = %v, want %v — Reset is not bit-identical", len(pts), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestResetBitIdentical3D: the 3-D analogue of TestResetBitIdentical2D.
+func TestResetBitIdentical3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sets := make([][][3]float64, 2)
+	for i := range sets {
+		pts := make([][3]float64, 30+i*40)
+		for j := range pts {
+			pts[j] = [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		sets[i] = pts
+	}
+	pooled := NewT3(8)
+	for _, p := range sets[1] {
+		pooled.Insert(p)
+	}
+	for _, pts := range sets {
+		fresh := Triangulate3D(pts)
+		pooled.Reset()
+		for _, p := range pts {
+			pooled.Insert(p)
+		}
+		var want, got [][4]int32
+		fresh.Tetrahedra(func(v [4]int32) { want = append(want, v) })
+		pooled.Tetrahedra(func(v [4]int32) { got = append(got, v) })
+		if len(want) != len(got) {
+			t.Fatalf("%d points: %d tets after reset, want %d", len(pts), len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%d points: tet %d = %v, want %v — Reset is not bit-identical", len(pts), i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -24,11 +24,15 @@ func WriteEdgeListText(w io.Writer, e *EdgeList) error {
 	return bw.Flush()
 }
 
-// ReadEdgeListText parses the format written by WriteEdgeListText.
-func ReadEdgeListText(r io.Reader) (*EdgeList, error) {
+// StreamEdgeListText incrementally parses the format written by
+// WriteEdgeListText: header (if non-nil) is called with the vertex count
+// of a leading "# n ..." comment, then edge is called once per edge line
+// in file order. It is the single text decoder — the materializing
+// ReadEdgeListText and the job runner's streaming shard merge are both
+// built on it, so the parsing rules cannot drift apart.
+func StreamEdgeListText(r io.Reader, header func(n uint64) error, edge func(u, v uint64) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	e := &EdgeList{}
 	first := true
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -41,9 +45,13 @@ func ReadEdgeListText(r io.Reader) (*EdgeList, error) {
 				if len(fields) >= 1 {
 					n, err := strconv.ParseUint(fields[0], 10, 64)
 					if err != nil {
-						return nil, fmt.Errorf("graph: bad header: %v", err)
+						return fmt.Errorf("graph: bad header: %v", err)
 					}
-					e.N = n
+					if header != nil {
+						if err := header(n); err != nil {
+							return err
+						}
+					}
 				}
 				first = false
 			}
@@ -52,25 +60,42 @@ func ReadEdgeListText(r io.Reader) (*EdgeList, error) {
 		first = false
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: bad edge line %q", line)
+			return fmt.Errorf("graph: bad edge line %q", line)
 		}
 		u, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		e.Edges = append(e.Edges, Edge{u, v})
-		if u >= e.N {
-			e.N = u + 1
-		}
-		if v >= e.N {
-			e.N = v + 1
+		if err := edge(u, v); err != nil {
+			return err
 		}
 	}
-	return e, sc.Err()
+	return sc.Err()
+}
+
+// ReadEdgeListText parses the format written by WriteEdgeListText.
+func ReadEdgeListText(r io.Reader) (*EdgeList, error) {
+	e := &EdgeList{}
+	err := StreamEdgeListText(r,
+		func(n uint64) error { e.N = n; return nil },
+		func(u, v uint64) error {
+			e.Edges = append(e.Edges, Edge{u, v})
+			if u >= e.N {
+				e.N = u + 1
+			}
+			if v >= e.N {
+				e.N = v + 1
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // WriteEdgeListBinary writes a compact little-endian binary format:
@@ -93,24 +118,63 @@ func WriteEdgeListBinary(w io.Writer, e *EdgeList) error {
 	return bw.Flush()
 }
 
-// ReadEdgeListBinary parses the format written by WriteEdgeListBinary.
-func ReadEdgeListBinary(r io.Reader) (*EdgeList, error) {
+// StreamingEdgeCount is the sentinel edge count of the binary header for
+// streamed output: a writer that cannot seek back to patch the real count
+// into the header (a pipe, or a compressed stream) writes it, and readers
+// consume (u, v) pairs until EOF instead of a fixed count.
+const StreamingEdgeCount = ^uint64(0)
+
+// StreamEdgeListBinary incrementally parses the format written by
+// WriteEdgeListBinary: header (if non-nil) receives the declared vertex
+// and edge counts (m may be StreamingEdgeCount), then edge is called once
+// per record. A fixed count reads exactly m records; the sentinel reads
+// until EOF, where a trailing partial record is an error. It is the
+// single binary decoder, shared by ReadEdgeListBinary and the job
+// runner's streaming shard merge.
+func StreamEdgeListBinary(r io.Reader, header func(n, m uint64) error, edge func(u, v uint64) error) error {
 	br := bufio.NewReader(r)
 	var buf [16]byte
 	if _, err := io.ReadFull(br, buf[:]); err != nil {
-		return nil, err
+		return err
 	}
-	e := &EdgeList{N: binary.LittleEndian.Uint64(buf[0:])}
 	m := binary.LittleEndian.Uint64(buf[8:])
-	e.Edges = make([]Edge, 0, m)
-	for i := uint64(0); i < m; i++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, err
+	if header != nil {
+		if err := header(binary.LittleEndian.Uint64(buf[0:]), m); err != nil {
+			return err
 		}
-		e.Edges = append(e.Edges, Edge{
-			U: binary.LittleEndian.Uint64(buf[0:]),
-			V: binary.LittleEndian.Uint64(buf[8:]),
+	}
+	for i := uint64(0); m == StreamingEdgeCount || i < m; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if err == io.EOF && m == StreamingEdgeCount {
+				return nil
+			}
+			return err // ErrUnexpectedEOF on a partial record
+		}
+		if err := edge(binary.LittleEndian.Uint64(buf[0:]), binary.LittleEndian.Uint64(buf[8:])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEdgeListBinary parses the format written by WriteEdgeListBinary,
+// accepting both fixed-count and sentinel (until-EOF) framing.
+func ReadEdgeListBinary(r io.Reader) (*EdgeList, error) {
+	e := &EdgeList{}
+	err := StreamEdgeListBinary(r,
+		func(n, m uint64) error {
+			e.N = n
+			if m != StreamingEdgeCount {
+				e.Edges = make([]Edge, 0, m)
+			}
+			return nil
+		},
+		func(u, v uint64) error {
+			e.Edges = append(e.Edges, Edge{U: u, V: v})
+			return nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	return e, nil
 }

@@ -1,0 +1,159 @@
+package job
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// PEProgress is the durable progress record of one PE's shard. Offset is
+// the shard file's byte length after the last committed chunk — a crash
+// may leave bytes past it (a torn batch, an unfinished gzip member), and
+// resume truncates to Offset before appending, so everything at or below
+// the offset is final.
+type PEProgress struct {
+	PE uint64 `json:"pe"`
+	// ChunksDone counts the PE's chunks whose edges are durably in the
+	// shard; the next chunk to generate is ChunksDone.
+	ChunksDone uint64 `json:"chunks_done"`
+	// Offset is the committed shard length in bytes (header included).
+	Offset int64 `json:"offset"`
+	// Edges counts the edges committed through the last checkpoint.
+	Edges uint64 `json:"edges"`
+	// Done marks the shard finalized: all chunks committed and the file
+	// closed.
+	Done bool `json:"done"`
+}
+
+// Manifest is one worker's checkpoint state: the spec hash it is bound
+// to, the worker index, and per-PE progress for the worker's PE range.
+// It is rewritten atomically (temp file + rename) after every chunk, so
+// on disk it is always a complete, parseable snapshot of some committed
+// state — never a torn write.
+type Manifest struct {
+	SpecHash string       `json:"spec_hash"`
+	Worker   uint64       `json:"worker"`
+	PEs      []PEProgress `json:"pes"`
+}
+
+// ManifestPath returns the manifest file of one worker inside a job
+// directory.
+func ManifestPath(dir string, worker uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("manifest-w%04d.json", worker))
+}
+
+// progress returns a pointer to the PE's progress record, or nil.
+func (m *Manifest) progress(pe uint64) *PEProgress {
+	for i := range m.PEs {
+		if m.PEs[i].PE == pe {
+			return &m.PEs[i]
+		}
+	}
+	return nil
+}
+
+// newManifest returns the zero-progress manifest of one worker under a
+// spec: every PE of the worker's range at zero chunks, zero offset.
+func newManifest(spec Spec, worker uint64) *Manifest {
+	lo, hi := spec.WorkerPEs(worker)
+	m := &Manifest{SpecHash: spec.Hash(), Worker: worker}
+	for pe := lo; pe < hi; pe++ {
+		m.PEs = append(m.PEs, PEProgress{PE: pe})
+	}
+	return m
+}
+
+// WriteManifest atomically replaces path with the manifest: the JSON is
+// written to a temp file in the same directory, synced, and renamed over
+// path. A crash at any point leaves either the previous manifest or the
+// new one — the recorded progress can lag the shard file (the extra bytes
+// are truncated at resume) but never lead it, because shards are synced
+// before their checkpoint is recorded.
+func WriteManifest(path string, m *Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Make the rename itself durable: without the directory sync a power
+	// loss could roll the directory entry back to the previous manifest —
+	// harmless for progress (it only lags), but the first manifest of a
+	// worker must not vanish after its shards start recording against it.
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadManifest reads and strictly validates a worker manifest: unknown
+// fields, trailing garbage, duplicate or unsorted PEs, and impossible
+// progress (chunks done beyond ChunksPerPE, a Done PE with missing
+// chunks) are all rejected — a corrupt manifest must fail loudly rather
+// than seed a resume with wrong state.
+func ReadManifest(path string, spec Spec) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(m); err != nil {
+		return nil, fmt.Errorf("job: corrupt manifest %s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("job: corrupt manifest %s: trailing data", path)
+	}
+	if m.SpecHash != spec.Hash() {
+		return nil, fmt.Errorf("job: manifest %s is bound to spec %.12s…, job spec is %.12s… — refusing to resume against a different instance definition",
+			path, m.SpecHash, spec.Hash())
+	}
+	lo, hi := spec.WorkerPEs(m.Worker)
+	if m.Worker >= spec.Normalized().Workers {
+		return nil, fmt.Errorf("job: manifest %s: worker %d out of range [0, %d)", path, m.Worker, spec.Normalized().Workers)
+	}
+	if !sort.SliceIsSorted(m.PEs, func(i, j int) bool { return m.PEs[i].PE < m.PEs[j].PE }) {
+		return nil, fmt.Errorf("job: corrupt manifest %s: PEs out of order", path)
+	}
+	if uint64(len(m.PEs)) != hi-lo {
+		return nil, fmt.Errorf("job: corrupt manifest %s: %d PE records, worker %d owns %d", path, len(m.PEs), m.Worker, hi-lo)
+	}
+	cpp := spec.Normalized().ChunksPerPE
+	for i := range m.PEs {
+		p := &m.PEs[i]
+		if p.PE != lo+uint64(i) {
+			return nil, fmt.Errorf("job: corrupt manifest %s: PE %d out of worker %d's range [%d, %d)", path, p.PE, m.Worker, lo, hi)
+		}
+		if p.ChunksDone > cpp {
+			return nil, fmt.Errorf("job: corrupt manifest %s: PE %d has %d chunks done of %d", path, p.PE, p.ChunksDone, cpp)
+		}
+		if p.Done && p.ChunksDone != cpp {
+			return nil, fmt.Errorf("job: corrupt manifest %s: PE %d done with %d of %d chunks", path, p.PE, p.ChunksDone, cpp)
+		}
+		if p.Offset < 0 {
+			return nil, fmt.Errorf("job: corrupt manifest %s: PE %d has negative offset", path, p.PE)
+		}
+		if p.ChunksDone > 0 && p.Offset == 0 {
+			return nil, fmt.Errorf("job: corrupt manifest %s: PE %d has chunks but no committed bytes", path, p.PE)
+		}
+	}
+	return m, nil
+}

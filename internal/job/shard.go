@@ -1,0 +1,202 @@
+package job
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	kagen "repro"
+)
+
+// ShardPath returns the shard file of one PE inside a job directory.
+// Shards are globally numbered across workers, so merged output never
+// depends on which worker produced a shard.
+func ShardPath(dir string, pe uint64, format kagen.Format) string {
+	return filepath.Join(dir, "shards", fmt.Sprintf("pe%05d.%s", pe, format.Ext()))
+}
+
+// shardWriter writes one PE's shard with chunk-granular durability. Two
+// properties make reopening a partially written shard safe:
+//
+//  1. The header is final from the start. Binary shards carry the
+//     StreamingEdgeCount sentinel instead of a patched edge count, so no
+//     writer ever needs to seek back into committed bytes.
+//  2. Committed bytes are only ever appended to. Checkpoint flushes and
+//     fsyncs everything written so far and returns the file offset; for
+//     compressed shards it also finishes the current gzip member, so the
+//     offset falls on a member boundary and truncating to it leaves a
+//     well-formed gzip stream. Resume truncates to the last committed
+//     offset — dropping any torn tail a crash left — and appends, for
+//     compressed shards as a fresh member (concatenated gzip members are
+//     one valid stream).
+//
+// Because every run checkpoints after every chunk, member boundaries are
+// a pure function of the spec, and a resumed shard is byte-identical to
+// an uninterrupted one.
+type shardWriter struct {
+	format kagen.Format
+	f      *os.File
+	cw     countingWriter
+	gz     *gzip.Writer
+	bw     *bufio.Writer
+	// needReset marks the gzip member closed by the last checkpoint; the
+	// next write starts a fresh member.
+	needReset bool
+	// dirty marks bytes written since the last checkpoint.
+	dirty   bool
+	scratch []byte
+}
+
+// countingWriter tracks the committed-plus-inflight byte offset of the
+// underlying file.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// syncDir fsyncs a directory so a freshly created or renamed entry in it
+// survives a power loss — without it, a durable manifest could record
+// progress for a shard whose directory entry never became durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// createShard starts a fresh shard: it writes the format header and
+// commits it as checkpoint zero, returning the writer and the committed
+// header offset. The shard directory is synced so the new entry is
+// durable before any manifest can reference it.
+func createShard(path string, format kagen.Format, n uint64) (*shardWriter, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	w := &shardWriter{format: format}
+	w.init(f, 0)
+	if err := w.write(format.AppendHeader(nil, n)); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	off, err := w.Checkpoint()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return w, off, nil
+}
+
+// reopenShard resumes a partially written shard: the file is truncated to
+// the last committed offset (discarding any torn tail) and positioned for
+// appending.
+func reopenShard(path string, format kagen.Format, offset int64) (*shardWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err == nil && st.Size() < offset {
+		err = fmt.Errorf("job: shard %s has %d bytes, manifest committed %d — shard and manifest disagree", path, st.Size(), offset)
+	}
+	if err == nil {
+		err = f.Truncate(offset)
+	}
+	if err == nil {
+		_, err = f.Seek(offset, io.SeekStart)
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &shardWriter{format: format}
+	w.init(f, offset)
+	return w, nil
+}
+
+func (w *shardWriter) init(f *os.File, off int64) {
+	w.f = f
+	w.cw = countingWriter{w: f, n: off}
+	var target io.Writer = &w.cw
+	if w.format.Compressed() {
+		w.gz = gzip.NewWriter(&w.cw)
+		target = w.gz
+	}
+	w.bw = bufio.NewWriterSize(target, 1<<20)
+}
+
+func (w *shardWriter) write(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if w.gz != nil && w.needReset {
+		w.gz.Reset(&w.cw)
+		w.needReset = false
+	}
+	w.dirty = true
+	_, err := w.bw.Write(p)
+	return err
+}
+
+// AppendBatch encodes one batch of edges in the shard format and buffers
+// it for the next checkpoint.
+func (w *shardWriter) AppendBatch(edges []kagen.Edge) error {
+	buf := w.format.AppendEdges(w.scratch[:0], edges)
+	w.scratch = buf[:0]
+	return w.write(buf)
+}
+
+// Checkpoint makes everything written so far durable and returns the
+// committed byte offset. For compressed shards it finishes the current
+// gzip member so the offset is a valid truncation point. A checkpoint
+// with nothing written since the last one (an empty chunk) is free and
+// returns the unchanged offset.
+func (w *shardWriter) Checkpoint() (int64, error) {
+	if !w.dirty {
+		return w.cw.n, nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return 0, err
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			return 0, err
+		}
+		w.needReset = true
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	w.dirty = false
+	return w.cw.n, nil
+}
+
+// Close closes the shard file. Bytes buffered since the last checkpoint
+// are deliberately dropped, not flushed: only checkpointed state is
+// meaningful, and a resume truncates past anything else anyway.
+func (w *shardWriter) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -48,6 +48,28 @@ func Stream[T any](P, workers int, produce func(pe int, emit func(T)), consume f
 	return StreamBatched(P, workers, DefaultBatchSize, produce, consume)
 }
 
+// StreamRange is Stream over the PE range [first, first+count): produce
+// and consume receive absolute PE indices, delivery is in increasing PE
+// order from first. It is the resumable entry point of the pipeline — a
+// worker restarted mid-run re-enters at its checkpointed PE (or a PE at
+// its checkpointed chunk, when chunks are the streamed unit) and streams
+// only the remaining range, with the delivered item sequence identical to
+// the corresponding suffix of a full run.
+func StreamRange[T any](first, count, workers int, produce func(pe int, emit func(T)), consume func(pe int, batch []T, final bool) error) error {
+	return StreamRangeBatched(first, count, workers, DefaultBatchSize, produce, consume)
+}
+
+// StreamRangeBatched is StreamRange with an explicit batch capacity (0 or
+// negative selects DefaultBatchSize).
+func StreamRangeBatched[T any](first, count, workers, batchSize int, produce func(pe int, emit func(T)), consume func(pe int, batch []T, final bool) error) error {
+	if first == 0 {
+		return StreamBatched(count, workers, batchSize, produce, consume)
+	}
+	return StreamBatched(count, workers, batchSize,
+		func(pe int, emit func(T)) { produce(first+pe, emit) },
+		func(pe int, batch []T, final bool) error { return consume(first+pe, batch, final) })
+}
+
 // StreamBatched is Stream with an explicit batch capacity (0 or negative
 // selects DefaultBatchSize). The delivered item sequence is identical for
 // every batch size; only the batch boundaries move.

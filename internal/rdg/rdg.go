@@ -97,21 +97,41 @@ func ExpectedChunkEdges(p Params) uint64 {
 // in the exact deterministic order of GenerateChunk. Each of the PE's
 // chunks is triangulated in turn and its edges are emitted before the next
 // chunk's triangulation is built, so at most one triangulation (chunk +
-// converged halo) is alive at a time. It returns the redundant-vertex and
-// halo-expansion counters of the chunk.
+// converged halo) is alive at a time; the triangulation's stores and the
+// emission dedup state are pooled in one scratch struct reused across the
+// PE's chunks, so steady-state chunk processing stays allocation-light.
+// It returns the redundant-vertex and halo-expansion counters of the
+// chunk.
 func StreamChunk(p Params, peID uint64, emit func(graph.Edge)) (redundantVertices, comparisons uint64) {
 	g := p.grid()
 	acc := rgg.NewCellAccess(g)
 	res := core.Result{PE: int(peID)}
+	var scratch triScratch
 	lo, hi := g.ChunkRange(peID)
 	for chunk := lo; chunk < hi; chunk++ {
-		triangulateChunk(p, g, acc, chunk, &res, emit)
+		triangulateChunk(p, g, acc, chunk, &res, &scratch, emit)
 		acc.Reset() // bound memory by one chunk + converged halo
 	}
 	return res.RedundantVertices, res.Comparisons
 }
 
-func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, res *core.Result, emit func(graph.Edge)) {
+// pair is one directed emission key of the per-chunk dedup.
+type pair struct{ u, v uint64 }
+
+// triScratch pools the Delaunay layer's per-chunk state across a PE's
+// chunks: the simplex stores (via T2/T3 Reset), the triangulation-index
+// to point-ID maps, and the emitted-pair dedup set. Reuse changes no
+// observable behaviour — a Reset triangulation inserts bit-identically to
+// a fresh one, and the dedup map is only ever queried point-wise.
+type triScratch struct {
+	t2    *delaunay.T2
+	t3    *delaunay.T3
+	idOf  []uint64
+	isInt []bool
+	seen  map[pair]bool
+}
+
+func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, res *core.Result, scratch *triScratch, emit func(graph.Edge)) {
 	dim := p.Dim
 	// Chunk cell bounding box in global cell coordinates.
 	first := g.ChunkCellCoord(chunk, 0)
@@ -130,15 +150,25 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	var t2 *delaunay.T2
 	var t3 *delaunay.T3
 	if dim == 2 {
-		t2 = delaunay.NewT2(int(acc.ChunkTotal(chunk)) * 4)
+		if scratch.t2 == nil {
+			scratch.t2 = delaunay.NewT2(int(acc.ChunkTotal(chunk)) * 4)
+		} else {
+			scratch.t2.Reset()
+		}
+		t2 = scratch.t2
 	} else {
-		t3 = delaunay.NewT3(int(acc.ChunkTotal(chunk)) * 8)
+		if scratch.t3 == nil {
+			scratch.t3 = delaunay.NewT3(int(acc.ChunkTotal(chunk)) * 8)
+		} else {
+			scratch.t3.Reset()
+		}
+		t3 = scratch.t3
 	}
 	// idOf maps triangulation indices to original point IDs; isInt marks
 	// the chunk-owned instances (a wrapped periodic copy of an interior
 	// point is NOT interior — only the original position is).
-	var idOf []uint64
-	var isInt []bool
+	idOf := scratch.idOf[:0]
+	isInt := scratch.isInt[:0]
 	superCount := 3
 	if dim == 3 {
 		superCount = 4
@@ -213,11 +243,10 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	// {-1, 0, 1}).
 	maxHalo := int64(g.GlobalDim)
 
+	var boxLo, boxHi [3]float64
 	for {
 		// Convergence: every simplex with an interior vertex must have its
 		// circumsphere inside the generated box.
-		boxLo := make([]float64, dim)
-		boxHi := make([]float64, dim)
 		for i := 0; i < dim; i++ {
 			boxLo[i] = float64(blo[i]) * g.CellSide
 			boxHi[i] = float64(bhi[i]+1) * g.CellSide
@@ -299,8 +328,12 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	// pair; periodic copies of the same pair collapse). Only edges of
 	// fully real simplices count — simplices touching the artificial
 	// bounding vertices are never part of the converged region.
-	type pair struct{ u, v uint64 }
-	seen := make(map[pair]bool)
+	if scratch.seen == nil {
+		scratch.seen = make(map[pair]bool)
+	} else {
+		clear(scratch.seen)
+	}
+	seen := scratch.seen
 	emitPair := func(a, b int32) {
 		u, v := idOf[a], idOf[b]
 		if u == v {
@@ -330,6 +363,8 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 			}
 		})
 	}
+	// Hand the (possibly regrown) index slices back for the next chunk.
+	scratch.idOf, scratch.isInt = idOf, isInt
 }
 
 func isSuperIdx(dim int, v int32) bool {

@@ -2,6 +2,7 @@ package kagen
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -80,17 +81,16 @@ func (s *TextSink) Begin(n, pes uint64) error {
 // Batch formats the whole batch into a reusable scratch buffer with
 // strconv.AppendUint and writes it with a single buffered write.
 func (s *TextSink) Batch(pe uint64, edges []Edge) error {
-	buf := appendEdgeText(s.scratch, edges)
+	buf := appendEdgeText(s.scratch[:0], edges)
 	s.scratch = buf[:0]
 	_, err := s.bw.Write(buf)
 	return err
 }
 
-// appendEdgeText appends "u v\n" lines for edges to buf[:0] with
-// strconv.AppendUint and returns the text frame; shared by the text and
-// sharded-text sinks (the binary counterpart is encodeEdgeFrame).
+// appendEdgeText appends "u v\n" lines for edges to buf with
+// strconv.AppendUint and returns the grown buffer; shared by the text
+// sinks (the binary counterpart is appendEdgeBinary).
 func appendEdgeText(buf []byte, edges []Edge) []byte {
-	buf = buf[:0]
 	for _, e := range edges {
 		buf = strconv.AppendUint(buf, e.U, 10)
 		buf = append(buf, ' ')
@@ -135,7 +135,7 @@ func (s *BinarySink) Begin(n, pes uint64) error {
 // Batch encodes the whole batch as one little-endian frame in a reusable
 // scratch buffer and writes it with a single buffered write.
 func (s *BinarySink) Batch(pe uint64, edges []Edge) error {
-	frame := encodeEdgeFrame(s.scratch, edges)
+	frame := appendEdgeBinary(s.scratch[:0], edges)
 	s.scratch = frame[:0]
 	s.count += uint64(len(edges))
 	_, err := s.bw.Write(frame)
@@ -145,20 +145,66 @@ func (s *BinarySink) Batch(pe uint64, edges []Edge) error {
 // EndPE is a no-op: the binary format has no per-PE structure.
 func (s *BinarySink) EndPE(pe uint64) error { return nil }
 
-// encodeEdgeFrame appends the 16-byte little-endian encodings of edges to
-// buf[:0], growing it as needed, and returns the frame.
-func encodeEdgeFrame(buf []byte, edges []Edge) []byte {
-	need := 16 * len(edges)
+// appendEdgeBinary appends the 16-byte little-endian encodings of edges
+// to buf, growing it as needed, and returns the grown buffer.
+func appendEdgeBinary(buf []byte, edges []Edge) []byte {
+	off := len(buf)
+	need := off + 16*len(edges)
 	if cap(buf) < need {
-		buf = make([]byte, 0, need)
+		grown := make([]byte, off, need)
+		copy(grown, buf)
+		buf = grown
 	}
 	buf = buf[:need]
 	for i, e := range edges {
-		binary.LittleEndian.PutUint64(buf[16*i:], e.U)
-		binary.LittleEndian.PutUint64(buf[16*i+8:], e.V)
+		binary.LittleEndian.PutUint64(buf[off+16*i:], e.U)
+		binary.LittleEndian.PutUint64(buf[off+16*i+8:], e.V)
 	}
 	return buf
 }
+
+// appendBinaryHeader appends the 16-byte binary edge-list header.
+func appendBinaryHeader(buf []byte, n, m uint64) []byte {
+	var h [16]byte
+	binary.LittleEndian.PutUint64(h[0:], n)
+	binary.LittleEndian.PutUint64(h[8:], m)
+	return append(buf, h[:]...)
+}
+
+// BinaryStreamSink streams the binary edge-list format to a plain
+// io.Writer — a pipe, or the inside of a gzip stream — by writing the
+// StreamingEdgeCount sentinel instead of seeking back to patch the true
+// edge count: readers consume pairs until EOF (see ReadEdgeListBinary).
+type BinaryStreamSink struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewBinaryStreamSink returns a Sink writing the sentinel-framed binary
+// edge-list format to w.
+func NewBinaryStreamSink(w io.Writer) *BinaryStreamSink {
+	return &BinaryStreamSink{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Begin writes the header with the sentinel edge count.
+func (s *BinaryStreamSink) Begin(n, pes uint64) error {
+	_, err := s.bw.Write(appendBinaryHeader(nil, n, StreamingEdgeCount))
+	return err
+}
+
+// Batch encodes the whole batch as one little-endian frame.
+func (s *BinaryStreamSink) Batch(pe uint64, edges []Edge) error {
+	frame := appendEdgeBinary(s.scratch[:0], edges)
+	s.scratch = frame[:0]
+	_, err := s.bw.Write(frame)
+	return err
+}
+
+// EndPE is a no-op: the binary format has no per-PE structure.
+func (s *BinaryStreamSink) EndPE(pe uint64) error { return nil }
+
+// Close flushes the buffered output.
+func (s *BinaryStreamSink) Close() error { return s.bw.Flush() }
 
 // Close flushes the stream and patches the edge count into the header.
 func (s *BinarySink) Close() error {
@@ -178,40 +224,39 @@ func (s *BinarySink) Close() error {
 }
 
 // ShardedSink writes one self-contained edge-list file per PE into a
-// directory: <prefix>-pe<id>.<txt|bin>, each readable with
-// ReadEdgeListText / ReadEdgeListBinary and carrying the global vertex
-// count — the per-PE partitioned output a distributed consumer expects.
-// Each shard is written incrementally batch by batch: a shard file is
-// opened at the PE's first batch and finalized at its EndPE, so no chunk
-// is ever held in memory. Binary shards get their edge count patched into
-// the header at EndPE; text shards use the streaming "# n" header (no
-// edge count), which ReadEdgeListText accepts.
+// directory: <prefix>-pe<id>.<ext>, each readable with ReadEdgeList and
+// carrying the global vertex count — the per-PE partitioned output a
+// distributed consumer expects. All four streaming formats are supported;
+// compressed shards are gzipped whole. Each shard is written
+// incrementally batch by batch: a shard file is opened at the PE's first
+// batch and finalized at its EndPE, so no chunk is ever held in memory.
+// Plain binary shards get their edge count patched into the header at
+// EndPE; text shards use the streaming "# n" header (no edge count) and
+// compressed binary shards the StreamingEdgeCount sentinel, both of which
+// the readers accept.
 type ShardedSink struct {
 	dir    string
 	prefix string
-	binary bool
+	format Format
 	n      uint64
 	pes    uint64
 
 	f       *os.File
+	gz      *gzip.Writer
 	bw      *bufio.Writer
 	count   uint64 // edges written to the open shard
 	scratch []byte
 }
 
 // NewShardedSink returns a Sink writing per-PE shard files into dir,
-// creating it if necessary. binary selects the binary edge-list format.
-func NewShardedSink(dir, prefix string, binary bool) *ShardedSink {
-	return &ShardedSink{dir: dir, prefix: prefix, binary: binary}
+// creating it if necessary, in the given streaming format.
+func NewShardedSink(dir, prefix string, format Format) *ShardedSink {
+	return &ShardedSink{dir: dir, prefix: prefix, format: format}
 }
 
 // ShardPath returns the file path of one PE's shard.
 func (s *ShardedSink) ShardPath(pe uint64) string {
-	ext := "txt"
-	if s.binary {
-		ext = "bin"
-	}
-	return filepath.Join(s.dir, fmt.Sprintf("%s-pe%05d.%s", s.prefix, pe, ext))
+	return filepath.Join(s.dir, fmt.Sprintf("%s-pe%05d.%s", s.prefix, pe, s.format.Ext()))
 }
 
 // Begin creates the shard directory.
@@ -227,19 +272,29 @@ func (s *ShardedSink) openShard(pe uint64) error {
 		return err
 	}
 	s.f = f
+	var target io.Writer = f
+	if s.format.Compressed() {
+		if s.gz == nil {
+			s.gz = gzip.NewWriter(f)
+		} else {
+			s.gz.Reset(f)
+		}
+		target = s.gz
+	}
 	if s.bw == nil {
-		s.bw = bufio.NewWriterSize(f, 1<<20)
+		s.bw = bufio.NewWriterSize(target, 1<<20)
 	} else {
-		s.bw.Reset(f)
+		s.bw.Reset(target)
 	}
 	s.count = 0
-	if s.binary {
-		var buf [16]byte
-		binary.LittleEndian.PutUint64(buf[0:], s.n)
-		binary.LittleEndian.PutUint64(buf[8:], 0) // patched at EndPE
-		_, err = s.bw.Write(buf[:])
+	if s.format == FormatBinary {
+		// Seekable plain binary: placeholder count, patched at EndPE.
+		_, err = s.bw.Write(appendBinaryHeader(s.scratch[:0], s.n, 0))
+		s.scratch = s.scratch[:0]
 	} else {
-		_, err = fmt.Fprintf(s.bw, "# %d\n", s.n)
+		buf := s.format.AppendHeader(s.scratch[:0], s.n)
+		s.scratch = buf[:0]
+		_, err = s.bw.Write(buf)
 	}
 	return err
 }
@@ -253,21 +308,17 @@ func (s *ShardedSink) Batch(pe uint64, edges []Edge) error {
 		}
 	}
 	s.count += uint64(len(edges))
-	var frame []byte
-	if s.binary {
-		frame = encodeEdgeFrame(s.scratch, edges)
-	} else {
-		frame = appendEdgeText(s.scratch, edges)
-	}
+	frame := s.format.AppendEdges(s.scratch[:0], edges)
 	s.scratch = frame[:0]
 	_, err := s.bw.Write(frame)
 	return err
 }
 
-// EndPE finalizes the PE's shard: it flushes the buffered edges, patches
-// the binary edge count, and closes the file. A PE without any batches
-// still produces a complete (empty) shard. If finalization fails the
-// partial file is deleted — a shard on disk is always complete.
+// EndPE finalizes the PE's shard: it flushes the buffered edges, finishes
+// the gzip stream of a compressed shard, patches the plain-binary edge
+// count, and closes the file. A PE without any batches still produces a
+// complete (empty) shard. If finalization fails the partial file is
+// deleted — a shard on disk is always complete.
 func (s *ShardedSink) EndPE(pe uint64) error {
 	if s.f == nil {
 		if err := s.openShard(pe); err != nil {
@@ -275,7 +326,12 @@ func (s *ShardedSink) EndPE(pe uint64) error {
 		}
 	}
 	err := s.bw.Flush()
-	if err == nil && s.binary {
+	if s.format.Compressed() {
+		if cerr := s.gz.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil && s.format == FormatBinary {
 		if _, serr := s.f.Seek(8, io.SeekStart); serr != nil {
 			err = fmt.Errorf("kagen: sharded sink cannot patch edge count: %w", serr)
 		} else {
@@ -313,23 +369,11 @@ func (s *ShardedSink) Close() error {
 
 // ReadShardedEdgeList reads the shard files written by a ShardedSink with
 // the given directory, prefix and format, and merges them in PE order.
-func ReadShardedEdgeList(dir, prefix string, binary bool, pes uint64) (*EdgeList, error) {
-	s := ShardedSink{dir: dir, prefix: prefix, binary: binary}
+func ReadShardedEdgeList(dir, prefix string, format Format, pes uint64) (*EdgeList, error) {
+	s := ShardedSink{dir: dir, prefix: prefix, format: format}
 	merged := &EdgeList{}
 	for pe := uint64(0); pe < pes; pe++ {
-		f, err := os.Open(s.ShardPath(pe))
-		if err != nil {
-			return nil, err
-		}
-		var el *EdgeList
-		if binary {
-			el, err = ReadEdgeListBinary(f)
-		} else {
-			el, err = ReadEdgeListText(f)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		el, err := ReadEdgeListFile(s.ShardPath(pe), format)
 		if err != nil {
 			return nil, err
 		}

@@ -112,15 +112,15 @@ func TestShardedSinkRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, binary := range []bool{false, true} {
+		for _, format := range Formats() {
 			dir := t.TempDir()
-			sink := NewShardedSink(dir, c.name, binary)
+			sink := NewShardedSink(dir, c.name, format)
 			if err := Stream(c.s, 3, sink); err != nil {
-				t.Fatalf("%s: %v", c.name, err)
+				t.Fatalf("%s/%s: %v", c.name, format, err)
 			}
-			got, err := ReadShardedEdgeList(dir, c.name, binary, c.s.PEs())
+			got, err := ReadShardedEdgeList(dir, c.name, format, c.s.PEs())
 			if err != nil {
-				t.Fatalf("%s: %v", c.name, err)
+				t.Fatalf("%s/%s: %v", c.name, format, err)
 			}
 			requireSameList(t, c.name, got, want)
 
@@ -130,27 +130,17 @@ func TestShardedSinkRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			f, err := os.Open(sink.ShardPath(pe))
-			if err != nil {
-				t.Fatal(err)
-			}
-			var shard *EdgeList
-			if binary {
-				shard, err = ReadEdgeListBinary(f)
-			} else {
-				shard, err = ReadEdgeListText(f)
-			}
-			f.Close()
+			shard, err := ReadEdgeListFile(sink.ShardPath(pe), format)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if shard.Len() != len(chunk) {
-				t.Fatalf("%s: shard %d has %d edges, chunk has %d",
-					c.name, pe, shard.Len(), len(chunk))
+				t.Fatalf("%s/%s: shard %d has %d edges, chunk has %d",
+					c.name, format, pe, shard.Len(), len(chunk))
 			}
 			for i := range chunk {
 				if shard.Edges[i] != chunk[i] {
-					t.Fatalf("%s: shard %d edge %d differs", c.name, pe, i)
+					t.Fatalf("%s/%s: shard %d edge %d differs", c.name, format, pe, i)
 				}
 			}
 		}
@@ -176,9 +166,9 @@ func TestStreamSinkErrorPropagates(t *testing.T) {
 // edge list — the open shard is deleted at Close.
 func TestShardedSinkAbortRemovesPartialShard(t *testing.T) {
 	s := NewGNMStreamer(500, 3000, true, Options{Seed: 1, PEs: 4})
-	for _, binary := range []bool{false, true} {
+	for _, format := range Formats() {
 		dir := t.TempDir()
-		sink := NewShardedSink(dir, "gnm", binary)
+		sink := NewShardedSink(dir, "gnm", format)
 		// Fail while PE 2's shard is open: its first batch errors after
 		// openShard has created the file.
 		ferr := &failAfterOpen{ShardedSink: sink, failPE: 2}
@@ -188,10 +178,10 @@ func TestShardedSinkAbortRemovesPartialShard(t *testing.T) {
 		for pe := uint64(0); pe < 4; pe++ {
 			_, err := os.Stat(sink.ShardPath(pe))
 			if pe < 2 && err != nil {
-				t.Errorf("binary=%v: completed shard %d missing: %v", binary, pe, err)
+				t.Errorf("format=%v: completed shard %d missing: %v", format, pe, err)
 			}
 			if pe >= 2 && err == nil {
-				t.Errorf("binary=%v: aborted run left shard %d on disk", binary, pe)
+				t.Errorf("format=%v: aborted run left shard %d on disk", format, pe)
 			}
 		}
 	}

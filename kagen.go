@@ -404,8 +404,40 @@ type ModelParams struct {
 	POut   float64 // inter-community probability (sbm; 0 selects P)
 }
 
-// New constructs a Generator by model name.
+// ResolveModelParams returns p with the registry's model defaults
+// applied: the RGG connectivity radius for a zero radius, and the SBM
+// planted-partition defaults (2 blocks, pIn = 8p, pOut = p). It is the
+// single source of these defaults — New generates with them, and
+// cmd/validate resolves a job spec through the same function, so
+// generation and validation cannot drift apart.
+func ResolveModelParams(model Model, p ModelParams) ModelParams {
+	switch model {
+	case ModelRGG2D, ModelRGG3D:
+		if p.R == 0 {
+			dim := 2
+			if model == ModelRGG3D {
+				dim = 3
+			}
+			p.R = RGGConnectivityRadius(p.N, dim)
+		}
+	case ModelSBM:
+		if p.Blocks == 0 {
+			p.Blocks = 2
+		}
+		if p.PIn == 0 {
+			p.PIn = 8 * p.P
+		}
+		if p.POut == 0 {
+			p.POut = p.P
+		}
+	}
+	return p
+}
+
+// New constructs a Generator by model name, with the ResolveModelParams
+// defaults applied.
 func New(model Model, p ModelParams, opt Options) (Generator, error) {
+	p = ResolveModelParams(model, p)
 	switch model {
 	case ModelGNMDirected:
 		return NewGNM(p.N, p.M, true, opt), nil
@@ -415,16 +447,10 @@ func New(model Model, p ModelParams, opt Options) (Generator, error) {
 		return NewGNP(p.N, p.P, true, opt), nil
 	case ModelGNPUndirected:
 		return NewGNP(p.N, p.P, false, opt), nil
-	case ModelRGG2D, ModelRGG3D:
-		dim := 2
-		if model == ModelRGG3D {
-			dim = 3
-		}
-		r := p.R
-		if r == 0 {
-			r = RGGConnectivityRadius(p.N, dim)
-		}
-		return NewRGG(p.N, r, dim, opt), nil
+	case ModelRGG2D:
+		return NewRGG(p.N, p.R, 2, opt), nil
+	case ModelRGG3D:
+		return NewRGG(p.N, p.R, 3, opt), nil
 	case ModelRDG2D:
 		return NewRDG(p.N, 2, opt), nil
 	case ModelRDG3D:
@@ -438,18 +464,7 @@ func New(model Model, p ModelParams, opt Options) (Generator, error) {
 	case ModelRMAT:
 		return NewRMAT(p.Scale, p.M, opt), nil
 	case ModelSBM:
-		blocks := p.Blocks
-		if blocks == 0 {
-			blocks = 2
-		}
-		pin, pout := p.PIn, p.POut
-		if pin == 0 {
-			pin = 8 * p.P
-		}
-		if pout == 0 {
-			pout = p.P
-		}
-		return NewSBM(p.N, blocks, pin, pout, opt), nil
+		return NewSBM(p.N, p.Blocks, p.PIn, p.POut, opt), nil
 	}
 	return nil, fmt.Errorf("kagen: unknown model %q", model)
 }

@@ -1,6 +1,7 @@
 package kagen
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -281,12 +282,33 @@ func Stream(s Streamer, workers int, sink Sink) error {
 // pe.DefaultBatchSize). The edge sequence the sink observes is identical
 // for every batch size; only the Batch call boundaries move.
 func StreamBatched(s Streamer, workers, batchSize int, sink Sink) error {
+	return StreamChunksFrom(s, 0, s.PEs(), workers, batchSize, sink)
+}
+
+// StreamChunksFrom is the resumable entry point of the streaming stack:
+// it streams only the chunk range [first, first+count) of s to sink, with
+// the same per-PE call protocol and the same deterministic order as a
+// full run restricted to that range. Because every chunk derives its
+// random decisions from (seed, chunk identity) alone, starting at an
+// arbitrary chunk costs only the model's O(log P) per-chunk setup — no
+// replay of earlier chunks — which is what makes chunk-granular
+// checkpoint/resume practical (see internal/job). Begin still announces
+// the full instance (N, PEs); Close is called exactly once, also on
+// abort.
+func StreamChunksFrom(s Streamer, first, count uint64, workers, batchSize int, sink Sink) error {
 	P := s.PEs()
+	if first > P || count > P-first {
+		err := fmt.Errorf("kagen: chunk range [%d, %d) outside [0, %d)", first, first+count, P)
+		if cerr := sink.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return err
+	}
 	err := sink.Begin(s.N(), P)
 	if err == nil {
 		var mu sync.Mutex
 		var chunkErr error
-		err = pe.StreamBatched(int(P), workers, batchSize, func(peID int, emit func(graph.Edge)) {
+		err = pe.StreamRangeBatched(int(first), int(count), workers, batchSize, func(peID int, emit func(graph.Edge)) {
 			if e := s.StreamChunk(uint64(peID), emit); e != nil {
 				mu.Lock()
 				if chunkErr == nil {
