@@ -108,7 +108,7 @@ func jobRun(verb string, args []string) {
 	opts := job.RunOptions{Goroutines: *workers, BatchSize: *batch}
 	if *failAfter > 0 {
 		remaining := *failAfter
-		opts.OnCheckpoint = func(pe, chunks uint64) error {
+		opts.OnCheckpoint = func(pe, chunks, edges uint64) error {
 			remaining--
 			if remaining <= 0 {
 				return fmt.Errorf("injected failure after checkpoint (pe %d, %d chunks)", pe, chunks)

@@ -10,7 +10,11 @@
 //
 // The `kagen job` subcommands plan, execute, checkpoint and resume
 // multi-process generation runs with zero inter-worker communication;
-// see `kagen job` for usage.
+// see `kagen job` for usage. `kagen serve` runs the long-lived
+// multi-tenant generation service over the same job machinery — jobs are
+// content-addressed by their spec hash, overload is rejected with 429,
+// and a killed server resumes every incomplete job on restart; see
+// `kagen serve -h`.
 //
 // Examples:
 //
@@ -35,6 +39,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "job" {
 		jobMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
 		return
 	}
 	var (

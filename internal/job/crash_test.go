@@ -1,0 +1,195 @@
+package job
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestConcurrentRunRejectedByLock is the locking contract: while one Run
+// of a worker is in flight, a second Run of the same worker index must
+// fail fast with ErrWorkerRunning — and the shard a single run produced
+// must be byte-identical to a run that was never contended, proving the
+// loser wrote nothing.
+func TestConcurrentRunRejectedByLock(t *testing.T) {
+	spec := Spec{Model: "gnm_undirected", N: 600, M: 4000, Seed: 11,
+		PEs: 2, ChunksPerPE: 3, Workers: 1, Format: "text"}
+
+	clean := t.TempDir()
+	if err := Init(clean, spec); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, clean, spec)
+
+	dir := t.TempDir()
+	if err := Init(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	inHook := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		var once bool
+		done <- Run(dir, 0, RunOptions{OnCheckpoint: func(pe, chunks, edges uint64) error {
+			if !once {
+				once = true
+				close(inHook)
+				<-release
+			}
+			return nil
+		}})
+	}()
+	<-inHook // the first run holds the lock and is mid-job
+
+	err := Run(dir, 0, RunOptions{})
+	if !errors.Is(err, ErrWorkerRunning) {
+		t.Fatalf("concurrent run of the same worker returned %v, want ErrWorkerRunning", err)
+	}
+	if !strings.Contains(err.Error(), "worker 0") {
+		t.Errorf("lock error does not name the worker: %v", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("contended run failed: %v", err)
+	}
+
+	want := readShards(t, clean, spec)
+	got := readShards(t, dir, spec)
+	for pe, wb := range want {
+		if string(got[pe]) != string(wb) {
+			t.Errorf("shard %d differs after contended run (%d vs %d bytes)", pe, len(got[pe]), len(wb))
+		}
+	}
+
+	// The lock is released with the run: a later Run (a no-op — all PEs
+	// done) must not be refused.
+	if err := Run(dir, 0, RunOptions{}); err != nil {
+		t.Fatalf("run after release refused: %v", err)
+	}
+}
+
+// TestRunAfterKilledHolder: the lock must not outlive its holder's file
+// descriptors — a crashed process (released lock, leftover lock file)
+// must not block the resume path.
+func TestRunAfterKilledHolder(t *testing.T) {
+	spec := Spec{Model: "gnm_undirected", N: 200, M: 400, Seed: 5,
+		PEs: 1, ChunksPerPE: 2, Workers: 1, Format: "text"}
+	dir := t.TempDir()
+	if err := Init(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Acquire and release as a crash would (descriptor close, file left
+	// behind), then Run against the leftover lock file.
+	l, err := acquireWorkerLock(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(LockPath(dir, 0)); err != nil {
+		t.Fatalf("lock file should remain after release: %v", err)
+	}
+	if err := Run(dir, 0, RunOptions{}); err != nil {
+		t.Fatalf("run against a released lock file refused: %v", err)
+	}
+}
+
+// TestInitSurvivesTmpLeftovers covers the crash windows of the durable
+// Init: a stale .tmp from a crashed earlier attempt must not block a
+// retried Init, must not shadow a committed spec, and a directory whose
+// crash predates the rename is not a job at all.
+func TestInitSurvivesTmpLeftovers(t *testing.T) {
+	spec := Spec{Model: "gnm_undirected", N: 200, M: 400, Seed: 5,
+		PEs: 2, ChunksPerPE: 2, Workers: 1, Format: "text"}
+
+	t.Run("stale tmp before init", func(t *testing.T) {
+		dir := t.TempDir()
+		tmp := SpecPath(dir) + ".tmp"
+		if err := os.WriteFile(tmp, []byte("{torn spec from a crash"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Init(dir, spec); err != nil {
+			t.Fatalf("init over a stale tmp failed: %v", err)
+		}
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Error("init left its temp file behind")
+		}
+		got, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Hash() != spec.Hash() {
+			t.Error("loaded spec does not match the initialized one")
+		}
+	})
+
+	t.Run("stale tmp after init", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := Init(dir, spec); err != nil {
+			t.Fatal(err)
+		}
+		// A crashed duplicate init attempt dies before its rename: the
+		// leftover tmp must not affect loading or running the job.
+		if err := os.WriteFile(SpecPath(dir)+".tmp", []byte("{torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); err != nil {
+			t.Fatalf("load with a stale tmp present failed: %v", err)
+		}
+		if err := Run(dir, 0, RunOptions{}); err != nil {
+			t.Fatalf("run with a stale tmp present failed: %v", err)
+		}
+	})
+
+	t.Run("crash before rename is not a job", func(t *testing.T) {
+		root := t.TempDir()
+		dir := filepath.Join(root, "half")
+		if err := os.MkdirAll(filepath.Join(dir, "shards"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(SpecPath(dir)+".tmp", []byte("{torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); err == nil {
+			t.Error("half-initialized directory loaded as a job")
+		}
+		dirs, err := List(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dirs) != 0 {
+			t.Errorf("List returned a half-initialized directory: %v", dirs)
+		}
+	})
+}
+
+// TestListFindsJobs: List returns exactly the directories holding a
+// committed spec, sorted by name.
+func TestListFindsJobs(t *testing.T) {
+	root := t.TempDir()
+	spec := Spec{Model: "gnm_undirected", N: 100, M: 200, Seed: 1,
+		PEs: 1, Workers: 1, Format: "text"}
+	for _, name := range []string{"b-job", "a-job"} {
+		if err := Init(filepath.Join(root, name), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(root, "not-a-job"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "stray-file"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := List(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "a-job"), filepath.Join(root, "b-job")}
+	if len(dirs) != 2 || dirs[0] != want[0] || dirs[1] != want[1] {
+		t.Errorf("List = %v, want %v", dirs, want)
+	}
+}

@@ -15,9 +15,9 @@ var errSimCrash = errors.New("simulated crash")
 
 // interruptAfter returns an OnCheckpoint hook that aborts the run as a
 // simulated crash after n durable checkpoints.
-func interruptAfter(n int) func(pe, chunks uint64) error {
+func interruptAfter(n int) func(pe, chunks, edges uint64) error {
 	count := 0
-	return func(pe, chunks uint64) error {
+	return func(pe, chunks, edges uint64) error {
 		count++
 		if count >= n {
 			return errSimCrash

@@ -1,0 +1,72 @@
+package job
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrWorkerRunning reports a Run/Resume refused because another process
+// holds the worker's lock. Callers distinguish it with errors.Is.
+var ErrWorkerRunning = fmt.Errorf("job: worker already running")
+
+// LockPath returns the lock file of one worker inside a job directory.
+func LockPath(dir string, worker uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("worker-w%04d.lock", worker))
+}
+
+// workerLock is an exclusive per-worker mutex held for the duration of
+// Run/Resume. Without it, two processes running the same worker index
+// both pass the manifest check, then interleave truncates and appends on
+// the same shard and race on the manifest rename — a corrupt shard that
+// still looks committed. On unix the lock is flock(2)-based, so a killed
+// process (the serve crash-recovery path) releases it automatically and
+// a restart resumes without manual cleanup; the lock file itself is left
+// behind on release — unlinking it would race a concurrent acquirer onto
+// an orphaned inode, letting two processes both "hold" the lock.
+type workerLock struct {
+	f *os.File
+}
+
+// acquireWorkerLock takes worker's exclusive lock in dir, failing fast
+// with ErrWorkerRunning (naming the PID that holds it, when recorded) if
+// another process already holds it.
+func acquireWorkerLock(dir string, worker uint64) (*workerLock, error) {
+	path := LockPath(dir, worker)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := tryLockFile(f); err != nil {
+		holder := ""
+		if b, rerr := os.ReadFile(path); rerr == nil {
+			if pid := bytes.TrimSpace(b); len(pid) > 0 {
+				holder = fmt.Sprintf(" by pid %s", pid)
+			}
+		}
+		f.Close()
+		return nil, fmt.Errorf("%w: worker %d of %s is locked%s (%s)",
+			ErrWorkerRunning, worker, dir, holder, path)
+	}
+	// Record the holder for diagnostics only — the kernel lock, not the
+	// PID, is the source of truth.
+	if err := f.Truncate(0); err == nil {
+		f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+	}
+	return &workerLock{f: f}, nil
+}
+
+// Release drops the lock. Closing the file releases the kernel lock on
+// unix; the fallback implementation unlocks explicitly first.
+func (l *workerLock) Release() error {
+	if l.f == nil {
+		return nil
+	}
+	err := unlockFile(l.f)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package job
+
+import (
+	"fmt"
+	"os"
+)
+
+// Non-unix fallback: no flock(2), so exclusivity comes from an O_EXCL
+// sentinel next to the lock file. Unlike flock, a crashed holder leaves
+// the sentinel behind and the next Run must remove it manually — the
+// tradeoff is documented in DESIGN.md; all supported CI targets take the
+// flock path.
+func tryLockFile(f *os.File) error {
+	s, err := os.OpenFile(f.Name()+".held", os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return fmt.Errorf("lock sentinel %s.held exists", f.Name())
+		}
+		return err
+	}
+	fmt.Fprintf(s, "%d\n", os.Getpid())
+	return s.Close()
+}
+
+func unlockFile(f *os.File) error {
+	return os.Remove(f.Name() + ".held")
+}

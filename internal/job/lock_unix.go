@@ -1,0 +1,21 @@
+//go:build unix
+
+package job
+
+import (
+	"os"
+	"syscall"
+)
+
+// tryLockFile takes a non-blocking exclusive flock(2) on f. The lock
+// lives on the open file description, so it survives nothing: a crashed
+// or kill -9'd holder releases it the instant its descriptors close,
+// which is exactly the recovery property the serve layer's
+// resume-on-restart relies on.
+func tryLockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// The metrics layer is deliberately flat: a fixed set of typed fields on
+// one struct, each a few atomic words, exposed in Prometheus text
+// exposition format (0.0.4) on GET /metrics. No registry, no labels, no
+// dependency — the serving hot path (a checkpoint hook firing after
+// every chunk) touches only atomics.
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+func (c *Counter) Add(n uint64)  { c.v.Add(n) }
+func (c *Counter) Inc()          { c.v.Add(1) }
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable, signed instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// lock-free; WriteText reads may tear between bucket and sum updates,
+// which Prometheus scrapes tolerate (the next scrape converges).
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Metrics is the server's flat metric set.
+type Metrics struct {
+	JobsSubmitted   Counter // new specs accepted into the queue
+	JobsDeduped     Counter // submissions matching a queued/running job
+	CacheHits       Counter // submissions served by a completed job
+	JobsResumed     Counter // incomplete jobs re-enqueued at startup
+	JobsCompleted   Counter
+	JobsFailed      Counter
+	JobsCancelled   Counter
+	QueueRejected   Counter    // 429s from the bounded submission queue
+	EdgesGenerated  Counter    // edges durably committed (rate = edges/sec)
+	ChunksCommitted Counter    // durable checkpoints
+	QueueDepth      Gauge      // jobs waiting in the submission queue
+	JobsInflight    Gauge      // jobs currently executing
+	Checkpoint      *Histogram // seconds between durable checkpoints
+}
+
+// NewMetrics returns a zeroed metric set with checkpoint-latency buckets
+// spanning sub-millisecond chunk commits to multi-second stalls.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Checkpoint: NewHistogram(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5),
+	}
+}
+
+// WriteText writes the metric set in Prometheus text exposition format,
+// in a fixed order so scrapes and tests are deterministic.
+func (m *Metrics) WriteText(w io.Writer) error {
+	counters := []struct {
+		name, help string
+		c          *Counter
+	}{
+		{"kagen_jobs_submitted_total", "New job specs accepted into the queue.", &m.JobsSubmitted},
+		{"kagen_jobs_deduped_total", "Submissions matching an already queued or running job.", &m.JobsDeduped},
+		{"kagen_cache_hits_total", "Submissions served from the content-addressed result cache.", &m.CacheHits},
+		{"kagen_jobs_resumed_total", "Incomplete jobs re-enqueued by the startup scan.", &m.JobsResumed},
+		{"kagen_jobs_completed_total", "Jobs run to completion.", &m.JobsCompleted},
+		{"kagen_jobs_failed_total", "Jobs that ended with an error.", &m.JobsFailed},
+		{"kagen_jobs_cancelled_total", "Jobs cancelled by DELETE.", &m.JobsCancelled},
+		{"kagen_queue_rejected_total", "Submissions rejected with 429 because the queue was full.", &m.QueueRejected},
+		{"kagen_edges_generated_total", "Edges durably committed across all jobs.", &m.EdgesGenerated},
+		{"kagen_chunks_committed_total", "Durable chunk checkpoints across all jobs.", &m.ChunksCommitted},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.c.Value()); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		g          *Gauge
+	}{
+		{"kagen_queue_depth", "Jobs waiting in the submission queue.", &m.QueueDepth},
+		{"kagen_jobs_inflight", "Jobs currently executing.", &m.JobsInflight},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.name, g.help, g.name, g.name, g.g.Value()); err != nil {
+			return err
+		}
+	}
+	return m.Checkpoint.writeText(w, "kagen_checkpoint_seconds",
+		"Seconds between successive durable chunk checkpoints.")
+}
+
+func (h *Histogram) writeText(w io.Writer, name, help string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		name, cum, name, math.Float64frombits(h.sum.Load()), name, h.count.Load())
+	return err
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsExposition: the text exposition carries every metric with
+// HELP/TYPE lines, cumulative histogram buckets, and the exact values
+// the typed API recorded.
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.JobsSubmitted.Add(3)
+	m.CacheHits.Inc()
+	m.EdgesGenerated.Add(12345)
+	m.QueueDepth.Set(2)
+	m.JobsInflight.Add(1)
+	m.Checkpoint.Observe(0.0007) // le 0.001
+	m.Checkpoint.Observe(0.3)    // le 0.5
+	m.Checkpoint.Observe(99)     // +Inf only
+
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE kagen_jobs_submitted_total counter",
+		"kagen_jobs_submitted_total 3",
+		"kagen_cache_hits_total 1",
+		"kagen_edges_generated_total 12345",
+		"# TYPE kagen_queue_depth gauge",
+		"kagen_queue_depth 2",
+		"kagen_jobs_inflight 1",
+		"# TYPE kagen_checkpoint_seconds histogram",
+		`kagen_checkpoint_seconds_bucket{le="0.0005"} 0`,
+		`kagen_checkpoint_seconds_bucket{le="0.001"} 1`,
+		`kagen_checkpoint_seconds_bucket{le="0.5"} 2`,
+		`kagen_checkpoint_seconds_bucket{le="+Inf"} 3`,
+		"kagen_checkpoint_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if m.Checkpoint.Count() != 3 {
+		t.Errorf("histogram count %d, want 3", m.Checkpoint.Count())
+	}
+}
+
+// TestMetricsConcurrent: the hot-path types are safe under concurrent
+// writers (the race detector is the assertion).
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.EdgesGenerated.Add(2)
+				m.QueueDepth.Add(1)
+				m.QueueDepth.Add(-1)
+				m.Checkpoint.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.EdgesGenerated.Value(); got != 16000 {
+		t.Errorf("counter %d, want 16000", got)
+	}
+	if got := m.Checkpoint.Count(); got != 8000 {
+		t.Errorf("histogram count %d, want 8000", got)
+	}
+	if got := m.QueueDepth.Value(); got != 0 {
+		t.Errorf("gauge %d, want 0", got)
+	}
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// pool is the bounded execution layer: a fixed number of executor
+// goroutines draining a fixed-capacity task queue. The queue bound is
+// the server's backpressure — trySubmit fails immediately when it is
+// full, which the HTTP layer turns into a 429 — so a burst of
+// submissions degrades into fast rejections instead of unbounded memory
+// growth and unbounded promised work.
+type pool struct {
+	queue chan func(ctx context.Context)
+	depth *Gauge // mirrors len(queue) for /metrics
+	wg    sync.WaitGroup
+}
+
+// newPool starts executors goroutines draining a queue of capacity
+// queueCap. ctx cancellation stops the executors after their current
+// task; tasks themselves watch the same ctx to abort at their next
+// checkpoint.
+func newPool(ctx context.Context, executors, queueCap int, depth *Gauge) *pool {
+	p := &pool{queue: make(chan func(context.Context), queueCap), depth: depth}
+	for i := 0; i < executors; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case task := <-p.queue:
+					p.depth.Add(-1)
+					task(ctx)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues a task, reporting false when the queue is full.
+func (p *pool) trySubmit(task func(ctx context.Context)) bool {
+	select {
+	case p.queue <- task:
+		p.depth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// wait blocks until every executor has exited (after ctx cancellation).
+func (p *pool) wait() { p.wg.Wait() }

@@ -1,0 +1,565 @@
+// Package serve is the multi-tenant generation service over the job
+// runner: an HTTP API where submitting a job.Spec returns a job ID, a
+// bounded worker pool executes jobs through internal/job's
+// chunk-granular checkpoint machinery, and results stream back as one
+// merged edge list or as per-PE shards with HTTP range support.
+//
+// The paper's communication-free property makes the service shape
+// almost free. The spec's SHA-256 hash is a complete instance identity —
+// (model, parameters, seed, partition) determine every output byte — so
+// the hash is the job ID, completed job directories form a
+// content-addressed result cache (an identical re-submission returns the
+// existing job without touching a generator), and crash recovery is a
+// restart: the startup scan finds every incomplete job directory and
+// re-enqueues it, and each resumed worker re-enters its stream at the
+// last durable checkpoint, producing bytes identical to an uninterrupted
+// run.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	kagen "repro"
+	"repro/internal/job"
+)
+
+// Job lifecycle states. Queued and running live only in memory; the
+// durable truth is the job directory (spec + manifests), which is why a
+// crashed server re-derives queued/running as "resume" and complete as
+// "cache entry" from the directory alone.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateComplete    = "complete"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateInterrupted = "interrupted" // shutdown mid-run; resumed on restart
+)
+
+var (
+	errCancelled = errors.New("serve: job cancelled")
+	errShutdown  = errors.New("serve: server shutting down")
+)
+
+// Config tunes a Server; only Dir is required.
+type Config struct {
+	// Dir is the data directory: one job directory per spec hash.
+	Dir string
+	// Executors bounds the number of concurrently running jobs (default 2).
+	Executors int
+	// QueueCap bounds the submission queue; a full queue rejects new
+	// submissions with 429 (default 16).
+	QueueCap int
+	// Goroutines bounds each job's chunk pipeline (0 = GOMAXPROCS).
+	Goroutines int
+	// OnCheckpoint, if set, runs after every durable checkpoint of every
+	// job; returning an error aborts that job's run exactly as a crash at
+	// that checkpoint would. Test hook.
+	OnCheckpoint func(jobID string, pe, chunks uint64) error
+}
+
+// jobState is the in-memory view of one job; all fields are guarded by
+// Server.mu.
+type jobState struct {
+	id          string
+	dir         string
+	spec        job.Spec
+	state       string
+	errMsg      string
+	cancel      context.CancelFunc // set while running
+	chunksDone  uint64
+	chunksTotal uint64
+	edges       uint64
+}
+
+// Server is the generation service. Create with New, mount Handler on an
+// http.Server, stop with Close.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	mux     *http.ServeMux
+	pool    *pool
+	cancel  context.CancelFunc
+	ctx     context.Context
+
+	mu   sync.Mutex // guards jobs and every jobState field
+	jobs map[string]*jobState
+}
+
+// New opens (or creates) the data directory, registers every existing
+// job — completed directories as cache entries, incomplete ones
+// re-enqueued for resume — and starts the executor pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("serve: Config.Dir is required")
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		cancel:  cancel,
+		ctx:     ctx,
+		jobs:    make(map[string]*jobState),
+	}
+
+	dirs, err := job.List(cfg.Dir)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	var resume []*jobState
+	for _, dir := range dirs {
+		st, err := job.Inspect(dir)
+		if err != nil {
+			// A corrupt directory must not take the server down — surface
+			// it as a failed job instead.
+			s.jobs[filepath.Base(dir)] = &jobState{
+				id: filepath.Base(dir), dir: dir, state: StateFailed, errMsg: err.Error(),
+			}
+			continue
+		}
+		js := &jobState{
+			id: st.SpecHash, dir: dir, spec: st.Spec,
+			chunksTotal: st.Spec.TotalChunks(),
+		}
+		for _, w := range st.Workers {
+			for _, pe := range w.PEs {
+				js.chunksDone += pe.ChunksDone
+				js.edges += pe.Edges
+			}
+		}
+		if st.Complete() {
+			js.state = StateComplete
+		} else {
+			js.state = StateQueued
+			resume = append(resume, js)
+		}
+		s.jobs[js.id] = js
+	}
+	sort.Slice(resume, func(i, j int) bool { return resume[i].id < resume[j].id })
+
+	// The resume backlog must never be rejected by backpressure — size the
+	// queue to hold all of it on top of the configured submission bound.
+	s.pool = newPool(ctx, cfg.Executors, cfg.QueueCap+len(resume), &s.metrics.QueueDepth)
+	for _, js := range resume {
+		s.metrics.JobsResumed.Inc()
+		js := js
+		s.pool.trySubmit(func(ctx context.Context) { s.execute(ctx, js) })
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/shards/{pe}", s.handleShard)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metric set (shared, live).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops the executors: running jobs abort at their next durable
+// checkpoint (state "interrupted", resumed by the next startup scan) and
+// queued jobs stay queued on disk. Close returns once every executor has
+// exited; it does not touch job directories.
+func (s *Server) Close() {
+	s.cancel()
+	s.pool.wait()
+}
+
+// JobStatus is the JSON shape of one job in API responses.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Model       string `json:"model"`
+	Format      string `json:"format"`
+	Seed        uint64 `json:"seed"`
+	PEs         uint64 `json:"pes"`
+	ChunksPerPE uint64 `json:"chunks_per_pe"`
+	Workers     uint64 `json:"workers"`
+	ChunksDone  uint64 `json:"chunks_done"`
+	ChunksTotal uint64 `json:"chunks_total"`
+	Edges       uint64 `json:"edges"`
+	Cached      bool   `json:"cached,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// statusLocked snapshots a jobState; the caller holds s.mu.
+func (js *jobState) statusLocked() JobStatus {
+	return JobStatus{
+		ID: js.id, State: js.state, Model: js.spec.Model,
+		Format: js.spec.Format, Seed: js.spec.Seed, PEs: js.spec.PEs,
+		ChunksPerPE: js.spec.ChunksPerPE, Workers: js.spec.Workers,
+		ChunksDone: js.chunksDone, ChunksTotal: js.chunksTotal,
+		Edges: js.edges, Error: js.errMsg,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a job.Spec, returns the job it identifies:
+// 202 a fresh job was enqueued, 200 the spec matched an existing job
+// (complete = content-addressed cache hit, in-flight = dedupe),
+// 429 the submission queue is full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec job.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	id := spec.Hash()
+
+	s.mu.Lock()
+	if js, ok := s.jobs[id]; ok {
+		switch js.state {
+		case StateComplete:
+			s.metrics.CacheHits.Inc()
+			st := js.statusLocked()
+			st.Cached = true
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+			return
+		case StateQueued, StateRunning, StateInterrupted:
+			s.metrics.JobsDeduped.Inc()
+			st := js.statusLocked()
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+			return
+		default:
+			// failed or cancelled: fall through and enqueue afresh under
+			// the same identity.
+			delete(s.jobs, id)
+		}
+	}
+	js := &jobState{
+		id: id, dir: filepath.Join(s.cfg.Dir, id), spec: spec,
+		state: StateQueued, chunksTotal: spec.TotalChunks(),
+	}
+	s.jobs[id] = js
+	s.mu.Unlock()
+
+	// Init is durable (fsynced file + dir): once we answer 202, a crashed
+	// server still finds — and finishes — the job on restart.
+	if _, err := os.Stat(job.SpecPath(js.dir)); errors.Is(err, os.ErrNotExist) {
+		if err := job.Init(js.dir, spec); err != nil {
+			s.dropJob(js)
+			writeError(w, http.StatusInternalServerError, "init: %v", err)
+			return
+		}
+	} else if err != nil {
+		s.dropJob(js)
+		writeError(w, http.StatusInternalServerError, "stat: %v", err)
+		return
+	}
+	if !s.pool.trySubmit(func(ctx context.Context) { s.execute(ctx, js) }) {
+		s.metrics.QueueRejected.Inc()
+		s.dropJob(js)
+		os.RemoveAll(js.dir)
+		writeError(w, http.StatusTooManyRequests, "submission queue full (%d queued)", s.cfg.QueueCap)
+		return
+	}
+	s.metrics.JobsSubmitted.Inc()
+
+	s.mu.Lock()
+	st := js.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) dropJob(js *jobState) {
+	s.mu.Lock()
+	if cur, ok := s.jobs[js.id]; ok && cur == js {
+		delete(s.jobs, js.id)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		out = append(out, js.statusLocked())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// lookup returns the job for the request's {id}, or writes 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobState, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %s", id)
+		return nil, false
+	}
+	return js, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	st := js.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel cancels a queued or running job (its partial directory is
+// removed — a cancelled partial result must not linger in the
+// content-addressed cache) or evicts a finished one.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	switch js.state {
+	case StateQueued:
+		js.state = StateCancelled
+		js.errMsg = "cancelled before start"
+		s.metrics.JobsCancelled.Inc()
+		os.RemoveAll(js.dir)
+	case StateRunning:
+		// The executor observes the cancellation at its next checkpoint,
+		// marks the job cancelled and removes the directory.
+		js.cancel()
+	case StateComplete, StateFailed, StateCancelled, StateInterrupted:
+		delete(s.jobs, js.id)
+		os.RemoveAll(js.dir)
+	}
+	st := js.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// contentType maps a shard format to its HTTP media type.
+func contentType(f kagen.Format) string {
+	switch {
+	case f.Compressed():
+		return "application/gzip"
+	case f.Binary():
+		return "application/octet-stream"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// handleResult streams the job's shards merged into one edge list of the
+// job's format — the single-stream consumer path. Shard-granular (and
+// range-capable) access is under /shards/{pe}.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state, dir, format := js.state, js.dir, js.spec.ShardFormat()
+	s.mu.Unlock()
+	if state != StateComplete {
+		writeError(w, http.StatusConflict, "job %s is %s, not complete", js.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", contentType(format))
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", js.id[:12]+"."+format.Ext()))
+	if err := job.Merge(dir, w); err != nil {
+		// Headers are gone; all we can do is cut the stream short so the
+		// client sees a truncated body instead of silently missing edges.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// handleShard serves one PE's shard file. http.ServeFile gives range
+// requests for free, so consumers can stripe downloads or re-fetch a
+// tail. A shard is served as soon as its PE is finalized, even while the
+// rest of the job still runs — finalized shards are immutable.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	pe, err := strconv.ParseUint(r.PathValue("pe"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad PE index %q", r.PathValue("pe"))
+		return
+	}
+	s.mu.Lock()
+	state, dir, spec := js.state, js.dir, js.spec
+	s.mu.Unlock()
+	if pe >= spec.PEs {
+		writeError(w, http.StatusNotFound, "job has %d PEs, no PE %d", spec.PEs, pe)
+		return
+	}
+	if state != StateComplete {
+		st, err := job.Inspect(dir)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "inspect: %v", err)
+			return
+		}
+		done := false
+		for _, p := range st.CompletedPEs() {
+			if p == pe {
+				done = true
+				break
+			}
+		}
+		if !done {
+			writeError(w, http.StatusConflict, "shard %d is not finalized yet", pe)
+			return
+		}
+	}
+	format := spec.ShardFormat()
+	w.Header().Set("Content-Type", contentType(format))
+	http.ServeFile(w, r, job.ShardPath(dir, pe, format))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w)
+}
+
+// execute runs one job to completion (or abort) on an executor.
+func (s *Server) execute(srvCtx context.Context, js *jobState) {
+	s.mu.Lock()
+	if js.state != StateQueued {
+		// Cancelled while queued; the directory is already gone.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(srvCtx)
+	js.state = StateRunning
+	js.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	s.metrics.JobsInflight.Add(1)
+	err := s.runJob(ctx, js)
+	s.metrics.JobsInflight.Add(-1)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js.cancel = nil
+	switch {
+	case err == nil:
+		js.state = StateComplete
+		s.metrics.JobsCompleted.Inc()
+	case errors.Is(err, errCancelled):
+		js.state = StateCancelled
+		js.errMsg = "cancelled"
+		s.metrics.JobsCancelled.Inc()
+		// A cancelled partial must not be mistaken for a cache entry.
+		os.RemoveAll(js.dir)
+	case srvCtx.Err() != nil:
+		// Shutdown, not failure: the directory stays, and the next
+		// startup scan resumes from the last durable checkpoint.
+		js.state = StateInterrupted
+		js.errMsg = "interrupted by shutdown"
+	default:
+		js.state = StateFailed
+		js.errMsg = err.Error()
+		s.metrics.JobsFailed.Inc()
+	}
+}
+
+// runJob drives every worker of the job through job.Run with a
+// checkpoint hook that feeds the metrics, updates the in-memory progress
+// snapshot, and turns context cancellation into a clean abort at the
+// next durable checkpoint.
+func (s *Server) runJob(ctx context.Context, js *jobState) error {
+	spec := js.spec.Normalized()
+	// The hook reports cumulative per-PE edges; seed the delta tracker
+	// from the manifests so a resumed PE's pre-crash edges are neither
+	// re-counted in the metric nor double-added to the snapshot.
+	peEdges := make(map[uint64]uint64)
+	if st, err := job.Inspect(js.dir); err == nil {
+		for _, w := range st.Workers {
+			for _, pe := range w.PEs {
+				peEdges[pe.PE] = pe.Edges
+			}
+		}
+	}
+	last := time.Now()
+	hook := func(pe, chunks, edges uint64) error {
+		now := time.Now()
+		s.metrics.Checkpoint.Observe(now.Sub(last).Seconds())
+		last = now
+		s.metrics.ChunksCommitted.Inc()
+		d := edges - peEdges[pe]
+		peEdges[pe] = edges
+		s.metrics.EdgesGenerated.Add(d)
+		s.mu.Lock()
+		js.chunksDone++
+		js.edges += d
+		s.mu.Unlock()
+		if s.cfg.OnCheckpoint != nil {
+			if err := s.cfg.OnCheckpoint(js.id, pe, chunks); err != nil {
+				return err
+			}
+		}
+		if ctx.Err() != nil {
+			if s.ctx.Err() != nil {
+				return errShutdown
+			}
+			return errCancelled
+		}
+		return nil
+	}
+	for w := uint64(0); w < spec.Workers; w++ {
+		if err := job.Run(js.dir, w, job.RunOptions{
+			Goroutines: s.cfg.Goroutines, OnCheckpoint: hook,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
