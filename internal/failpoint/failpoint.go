@@ -1,0 +1,129 @@
+// Package failpoint is the fault-injection layer for crash and
+// corruption testing: named failpoints compiled into the production
+// paths (the job runner's checkpoint commit, the manifest rename) stay
+// completely inert until armed, then fire exactly once after a
+// configured number of evaluations. Tests arm them in-process with Arm;
+// CLI processes (and CI chaos jobs) arm them through the
+// KAGEN_FAILPOINTS environment variable, so the same corruption
+// scenarios run against the real binary without hand-rolled file
+// surgery.
+//
+// The disarmed fast path is one atomic load (Armed), so a failpoint
+// site in a hot loop costs nothing in production.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrCrash is the sentinel wrapped by every failpoint-induced abort. A
+// site that simulates a process crash returns an error wrapping ErrCrash
+// and the caller unwinds exactly as a real crash at that instant would
+// leave the disk.
+var ErrCrash = errors.New("failpoint: simulated crash")
+
+// Crash returns the error a firing crash-style failpoint reports.
+func Crash(name string) error {
+	return fmt.Errorf("failpoint %s armed: %w", name, ErrCrash)
+}
+
+var (
+	mu     sync.Mutex
+	points map[string]int // remaining evaluations until the point fires
+	armed  atomic.Int32   // len(points), read lock-free by Armed
+)
+
+func init() {
+	ArmFromEnv(os.Getenv("KAGEN_FAILPOINTS"))
+}
+
+// ArmFromEnv arms every failpoint in a comma-separated "name" or
+// "name=N" list (N = fire on the Nth evaluation, default 1). Unparsable
+// entries are ignored — a typo'd injection must not take down a
+// production process that merely imports the package.
+func ArmFromEnv(spec string) {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, after := entry, 1
+		if i := strings.IndexByte(entry, '='); i >= 0 {
+			name = entry[:i]
+			n, err := strconv.Atoi(entry[i+1:])
+			if err != nil || n < 1 {
+				continue
+			}
+			after = n
+		}
+		Arm(name, after)
+	}
+}
+
+// Arm arms a failpoint to fire on its after-th evaluation (after < 1
+// means the first). Re-arming an armed point resets its countdown.
+func Arm(name string, after int) {
+	if after < 1 {
+		after = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]int)
+	}
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = after
+}
+
+// Disarm removes a failpoint without firing it.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint. Tests arm points globally, so every
+// arming test must Reset in cleanup.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(0)
+}
+
+// Armed reports whether any failpoint is armed — the zero-cost guard a
+// site checks before doing any work to describe its fault.
+func Armed() bool { return armed.Load() > 0 }
+
+// Eval records one evaluation of the named site and reports whether the
+// point fires now. A fired point disarms itself: each arming injects
+// exactly one fault.
+func Eval(name string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	n, ok := points[name]
+	if !ok {
+		return false
+	}
+	if n--; n > 0 {
+		points[name] = n
+		return false
+	}
+	delete(points, name)
+	armed.Add(-1)
+	return true
+}

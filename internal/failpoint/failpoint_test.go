@@ -1,0 +1,81 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	if Armed() {
+		t.Fatal("fresh state reports armed")
+	}
+	if Eval("job/crash") {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestCountdownFiresOnceOnNth(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm("p", 3)
+	if !Armed() {
+		t.Fatal("armed point not reported")
+	}
+	for i := 1; i <= 2; i++ {
+		if Eval("p") {
+			t.Fatalf("fired on evaluation %d, armed for 3", i)
+		}
+	}
+	if !Eval("p") {
+		t.Fatal("did not fire on the 3rd evaluation")
+	}
+	if Eval("p") || Armed() {
+		t.Fatal("fired point did not disarm itself")
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	ArmFromEnv(" a , b=2 ,, c=x, d=-1 ,e=1")
+	for _, name := range []string{"c", "d"} {
+		if Eval(name) {
+			t.Errorf("unparsable entry %q armed a point", name)
+		}
+	}
+	if !Eval("a") || !Eval("e") {
+		t.Error("default-count entries did not fire on first evaluation")
+	}
+	if Eval("b") {
+		t.Error("b=2 fired on first evaluation")
+	}
+	if !Eval("b") {
+		t.Error("b=2 did not fire on second evaluation")
+	}
+	if Armed() {
+		t.Error("points remain armed after all fired")
+	}
+}
+
+func TestRearmResetsCountdown(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm("p", 2)
+	Eval("p")
+	Arm("p", 2)
+	if Eval("p") {
+		t.Fatal("re-arm did not reset the countdown")
+	}
+	if !Eval("p") {
+		t.Fatal("re-armed point never fired")
+	}
+}
+
+func TestCrashWrapsSentinel(t *testing.T) {
+	err := Crash("some/site")
+	if !errors.Is(err, ErrCrash) {
+		t.Fatal("Crash error does not wrap ErrCrash")
+	}
+}

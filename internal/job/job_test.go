@@ -1,14 +1,19 @@
 package job
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	kagen "repro"
+	"repro/internal/failpoint"
+	"repro/internal/merkle"
 )
 
 var errSimCrash = errors.New("simulated crash")
@@ -89,15 +94,17 @@ func TestCrashResumeByteIdentical(t *testing.T) {
 			if err := Init(crashed, spec); err != nil {
 				t.Fatal(err)
 			}
-			// Worker 0 owns PEs 0-1 (6 chunks): crash after the 4th
-			// checkpoint — mid-PE 1, exercising a chunk-granular restart.
-			err := Run(crashed, 0, RunOptions{Goroutines: 2, OnCheckpoint: interruptAfter(4)})
-			if !errors.Is(err, errSimCrash) {
+			// Worker 0 owns PEs 0-1 (6 chunks): the torn-tail failpoint
+			// fires at the 4th checkpoint — mid-PE 1, exercising a
+			// chunk-granular restart — appending garbage past the committed
+			// offset exactly as a crash mid-batch would, then "crashing".
+			t.Cleanup(failpoint.Reset)
+			failpoint.Arm("job/torn-tail", 4)
+			err := Run(crashed, 0, RunOptions{Goroutines: 2})
+			if !errors.Is(err, failpoint.ErrCrash) {
 				t.Fatalf("interrupted run returned %v, want simulated crash", err)
 			}
 
-			// A real crash can leave a torn tail past the last durable
-			// checkpoint; resume must truncate it away.
 			st, err := Inspect(crashed)
 			if err != nil {
 				t.Fatal(err)
@@ -111,15 +118,6 @@ func TestCrashResumeByteIdentical(t *testing.T) {
 				t.Fatalf("expected a mid-PE gap, got PE %d at %d/%d chunks",
 					partial.PE, partial.ChunksDone, partial.Chunks)
 			}
-			shard := ShardPath(crashed, partial.PE, spec.ShardFormat())
-			f, err := os.OpenFile(shard, os.O_APPEND|os.O_WRONLY, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := f.Write([]byte("torn tail from a crash")); err != nil {
-				t.Fatal(err)
-			}
-			f.Close()
 
 			if _, err := os.Stat(ManifestPath(crashed, 0)); err != nil {
 				t.Fatalf("no manifest after interrupted run: %v", err)
@@ -242,12 +240,22 @@ func TestManifestRoundTrip(t *testing.T) {
 	spec := Spec{Model: "gnm_undirected", N: 100, M: 200, Seed: 1,
 		PEs: 4, ChunksPerPE: 2, Workers: 2, Format: "text"}.Normalized()
 	m := newManifest(spec, 1)
-	m.PEs[0].ChunksDone = 2
-	m.PEs[0].Offset = 123
-	m.PEs[0].Edges = 55
-	m.PEs[0].Done = true
-	m.PEs[1].ChunksDone = 1
-	m.PEs[1].Offset = 17
+	leaves := []merkle.Digest{sha256.Sum256([]byte("chunk0")), sha256.Sum256([]byte("chunk1"))}
+	root := merkle.Root(leaves)
+	m.PEs[0] = PEProgress{
+		PE: m.PEs[0].PE, ChunksDone: 2, Offset: 123, Edges: 55, Done: true,
+		HeaderEnd: 10,
+		Chunks: []ChunkRecord{
+			{Digest: hex.EncodeToString(leaves[0][:]), End: 70, Edges: 30},
+			{Digest: hex.EncodeToString(leaves[1][:]), End: 123, Edges: 25},
+		},
+		Root: hex.EncodeToString(root[:]),
+	}
+	m.PEs[1] = PEProgress{
+		PE: m.PEs[1].PE, ChunksDone: 1, Offset: 17, Edges: 9,
+		HeaderEnd: 5,
+		Chunks:    []ChunkRecord{{Digest: hex.EncodeToString(leaves[0][:]), End: 17, Edges: 9}},
+	}
 
 	path := filepath.Join(t.TempDir(), "manifest.json")
 	if err := WriteManifest(path, m); err != nil {
@@ -264,7 +272,7 @@ func TestManifestRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
 	}
 	for i := range m.PEs {
-		if got.PEs[i] != m.PEs[i] {
+		if !reflect.DeepEqual(got.PEs[i], m.PEs[i]) {
 			t.Fatalf("PE %d round trip mismatch: %+v vs %+v", i, got.PEs[i], m.PEs[i])
 		}
 	}
@@ -324,6 +332,57 @@ func TestManifestRejectsCorruption(t *testing.T) {
 	}
 	if _, err := ReadManifest(path, spec); err == nil {
 		t.Error("done PE with 0 chunks accepted")
+	}
+
+	// Integrity-section damage: a finalized PE whose chunk digests or root
+	// were tampered with must fail the read-time Merkle re-check.
+	leaves := []merkle.Digest{sha256.Sum256([]byte("a")), sha256.Sum256([]byte("b"))}
+	root := merkle.Root(leaves)
+	m = newManifest(spec, 0)
+	m.PEs[0] = PEProgress{
+		PE: m.PEs[0].PE, ChunksDone: 2, Offset: 40, Edges: 6, Done: true, HeaderEnd: 8,
+		Chunks: []ChunkRecord{
+			{Digest: hex.EncodeToString(leaves[0][:]), End: 20, Edges: 4},
+			{Digest: hex.EncodeToString(leaves[1][:]), End: 40, Edges: 2},
+		},
+		Root: hex.EncodeToString(root[:]),
+	}
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path, spec); err != nil {
+		t.Fatalf("well-formed integrity section rejected: %v", err)
+	}
+	tampered := m.PEs[0]
+	for name, mutate := range map[string]func(p *PEProgress){
+		"tampered digest": func(p *PEProgress) {
+			d := sha256.Sum256([]byte("evil"))
+			p.Chunks[0].Digest = hex.EncodeToString(d[:])
+		},
+		"tampered root": func(p *PEProgress) {
+			d := sha256.Sum256([]byte("evil root"))
+			p.Root = hex.EncodeToString(d[:])
+		},
+		"offsets not monotone": func(p *PEProgress) { p.Chunks[1].End = 10 },
+		"edge sum mismatch":    func(p *PEProgress) { p.Chunks[1].Edges = 99 },
+		"root on unfinished PE": func(p *PEProgress) {
+			p.Done = false
+			p.ChunksDone = 1
+			p.Chunks = p.Chunks[:1]
+			p.Offset = 20
+			p.Edges = 4
+		},
+	} {
+		cp := tampered
+		cp.Chunks = append([]ChunkRecord(nil), tampered.Chunks...)
+		mutate(&cp)
+		m.PEs[0] = cp
+		if err := WriteManifest(path, m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(path, spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
 

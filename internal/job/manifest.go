@@ -2,12 +2,30 @@ package job
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/failpoint"
+	"repro/internal/merkle"
 )
+
+// ChunkRecord is the durable integrity record of one committed chunk:
+// the SHA-256 digest of the chunk's payload bytes (the format-encoded
+// edges, before any compression — see the digest discussion in
+// DESIGN.md), the shard byte offset the chunk ends at, and its edge
+// count. The digests double as the leaves of the PE's Merkle tree.
+type ChunkRecord struct {
+	// Digest is the hex SHA-256 of the chunk's payload bytes.
+	Digest string `json:"d"`
+	// End is the shard offset after this chunk (== next chunk's start).
+	End int64 `json:"end"`
+	// Edges is the number of edges the chunk emitted.
+	Edges uint64 `json:"e"`
+}
 
 // PEProgress is the durable progress record of one PE's shard. Offset is
 // the shard file's byte length after the last committed chunk — a crash
@@ -26,6 +44,47 @@ type PEProgress struct {
 	// Done marks the shard finalized: all chunks committed and the file
 	// closed.
 	Done bool `json:"done"`
+	// HeaderEnd is the committed length of the shard header (checkpoint
+	// zero); chunk 0's bytes start here.
+	HeaderEnd int64 `json:"header_end,omitempty"`
+	// Chunks holds one integrity record per committed chunk
+	// (len(Chunks) == ChunksDone always).
+	Chunks []ChunkRecord `json:"chunks,omitempty"`
+	// Root is the hex Merkle root over the chunk digests, set when the
+	// PE finalizes. Any worker can re-derive any leaf from the spec
+	// alone and check it against Root through an inclusion proof.
+	Root string `json:"root,omitempty"`
+}
+
+// leafDigests decodes the PE's chunk digests into Merkle leaves.
+func (p *PEProgress) leafDigests() ([]merkle.Digest, error) {
+	leaves := make([]merkle.Digest, len(p.Chunks))
+	for i, c := range p.Chunks {
+		if err := decodeDigest(c.Digest, &leaves[i]); err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", i, err)
+		}
+	}
+	return leaves, nil
+}
+
+// chunkBounds returns the shard byte range [start, end) of one committed
+// chunk.
+func (p *PEProgress) chunkBounds(chunk int) (start, end int64) {
+	start = p.HeaderEnd
+	if chunk > 0 {
+		start = p.Chunks[chunk-1].End
+	}
+	return start, p.Chunks[chunk].End
+}
+
+// decodeDigest parses a hex SHA-256 digest into d.
+func decodeDigest(s string, d *merkle.Digest) error {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(d) {
+		return fmt.Errorf("bad digest %q", s)
+	}
+	copy(d[:], b)
+	return nil
 }
 
 // Manifest is one worker's checkpoint state: the spec hash it is bound
@@ -93,6 +152,11 @@ func WriteManifest(path string, m *Manifest) error {
 		os.Remove(tmp)
 		return err
 	}
+	if failpoint.Armed() && failpoint.Eval("job/crash-before-rename") {
+		// Simulated crash between the fsync and the rename: the durable
+		// .tmp is left behind and path still holds the previous manifest.
+		return failpoint.Crash("job/crash-before-rename")
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
@@ -100,7 +164,19 @@ func WriteManifest(path string, m *Manifest) error {
 	// loss could roll the directory entry back to the previous manifest —
 	// harmless for progress (it only lags), but the first manifest of a
 	// worker must not vanish after its shards start recording against it.
-	return syncDir(filepath.Dir(path))
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	if failpoint.Armed() && failpoint.Eval("job/manifest-truncate") {
+		// Simulated external rot: the durably renamed manifest is cut in
+		// half, then the process "crashes". Atomic renames cannot produce
+		// this state — a disk can.
+		if st, err := os.Stat(path); err == nil {
+			os.Truncate(path, st.Size()/2)
+		}
+		return failpoint.Crash("job/manifest-truncate")
+	}
+	return nil
 }
 
 // ReadManifest reads and strictly validates a worker manifest: unknown
@@ -154,6 +230,67 @@ func ReadManifest(path string, spec Spec) (*Manifest, error) {
 		if p.ChunksDone > 0 && p.Offset == 0 {
 			return nil, fmt.Errorf("job: corrupt manifest %s: PE %d has chunks but no committed bytes", path, p.PE)
 		}
+		if err := p.validateIntegrity(); err != nil {
+			return nil, fmt.Errorf("job: corrupt manifest %s: PE %d: %w", path, p.PE, err)
+		}
 	}
 	return m, nil
+}
+
+// validateIntegrity checks the per-chunk integrity records against the
+// PE's progress counters: a record per committed chunk, offsets
+// monotone from the header to Offset, edge counts summing to Edges,
+// and — for a finalized PE — a root that reproduces from the leaves.
+// The root re-check makes a tampered or torn integrity section fail at
+// read time, before any resume or verify trusts it.
+func (p *PEProgress) validateIntegrity() error {
+	if uint64(len(p.Chunks)) != p.ChunksDone {
+		return fmt.Errorf("%d chunk records for %d committed chunks", len(p.Chunks), p.ChunksDone)
+	}
+	if p.Offset == 0 && p.HeaderEnd != 0 {
+		return fmt.Errorf("header end %d with no committed bytes", p.HeaderEnd)
+	}
+	if p.Offset > 0 && (p.HeaderEnd <= 0 || p.HeaderEnd > p.Offset) {
+		return fmt.Errorf("header end %d outside (0, %d]", p.HeaderEnd, p.Offset)
+	}
+	if p.ChunksDone == 0 && p.Offset > 0 && p.HeaderEnd != p.Offset {
+		return fmt.Errorf("no chunks but offset %d past header end %d", p.Offset, p.HeaderEnd)
+	}
+	prev := p.HeaderEnd
+	var edges uint64
+	var d merkle.Digest
+	for i, c := range p.Chunks {
+		if err := decodeDigest(c.Digest, &d); err != nil {
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
+		if c.End < prev {
+			return fmt.Errorf("chunk %d ends at %d before previous end %d", i, c.End, prev)
+		}
+		prev = c.End
+		edges += c.Edges
+	}
+	if len(p.Chunks) > 0 && prev != p.Offset {
+		return fmt.Errorf("last chunk ends at %d, offset is %d", prev, p.Offset)
+	}
+	if edges != p.Edges {
+		return fmt.Errorf("chunk edge counts sum to %d, progress records %d", edges, p.Edges)
+	}
+	if !p.Done {
+		if p.Root != "" {
+			return fmt.Errorf("root set on an unfinished PE")
+		}
+		return nil
+	}
+	var root merkle.Digest
+	if err := decodeDigest(p.Root, &root); err != nil {
+		return fmt.Errorf("root: %w", err)
+	}
+	leaves, err := p.leafDigests()
+	if err != nil {
+		return err
+	}
+	if merkle.Root(leaves) != root {
+		return fmt.Errorf("merkle root does not reproduce from the chunk digests")
+	}
+	return nil
 }

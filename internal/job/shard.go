@@ -3,12 +3,15 @@ package job
 import (
 	"bufio"
 	"compress/gzip"
+	"crypto/sha256"
 	"fmt"
+	"hash"
 	"io"
 	"os"
 	"path/filepath"
 
 	kagen "repro"
+	"repro/internal/merkle"
 )
 
 // ShardPath returns the shard file of one PE inside a job directory.
@@ -48,6 +51,13 @@ type shardWriter struct {
 	// dirty marks bytes written since the last checkpoint.
 	dirty   bool
 	scratch []byte
+	// h accumulates the SHA-256 of the payload bytes (the format
+	// encoding, before compression) written since the last checkpoint —
+	// the chunk digest the manifest's Merkle tree is built over. Hashing
+	// pre-compression bytes keeps the digest a pure function of the spec:
+	// verify can re-derive it from a regenerated chunk without caring
+	// which gzip implementation wrote the member.
+	h hash.Hash
 }
 
 // countingWriter tracks the committed-plus-inflight byte offset of the
@@ -97,7 +107,7 @@ func createShard(path string, format kagen.Format, n uint64) (*shardWriter, int6
 		f.Close()
 		return nil, 0, err
 	}
-	off, err := w.Checkpoint()
+	off, _, err := w.Checkpoint()
 	if err != nil {
 		f.Close()
 		return nil, 0, err
@@ -134,6 +144,7 @@ func reopenShard(path string, format kagen.Format, offset int64) (*shardWriter, 
 
 func (w *shardWriter) init(f *os.File, off int64) {
 	w.f = f
+	w.h = sha256.New()
 	w.cw = countingWriter{w: f, n: off}
 	var target io.Writer = &w.cw
 	if w.format.Compressed() {
@@ -152,6 +163,7 @@ func (w *shardWriter) write(p []byte) error {
 		w.needReset = false
 	}
 	w.dirty = true
+	w.h.Write(p)
 	_, err := w.bw.Write(p)
 	return err
 }
@@ -165,28 +177,34 @@ func (w *shardWriter) AppendBatch(edges []kagen.Edge) error {
 }
 
 // Checkpoint makes everything written so far durable and returns the
-// committed byte offset. For compressed shards it finishes the current
-// gzip member so the offset is a valid truncation point. A checkpoint
-// with nothing written since the last one (an empty chunk) is free and
-// returns the unchanged offset.
-func (w *shardWriter) Checkpoint() (int64, error) {
+// committed byte offset plus the SHA-256 digest of the payload bytes
+// written since the last checkpoint — the chunk's Merkle leaf. For
+// compressed shards it finishes the current gzip member so the offset is
+// a valid truncation point. A checkpoint with nothing written since the
+// last one (an empty chunk) is free, returns the unchanged offset, and
+// digests the empty payload.
+func (w *shardWriter) Checkpoint() (int64, merkle.Digest, error) {
+	var d merkle.Digest
 	if !w.dirty {
-		return w.cw.n, nil
+		w.h.Sum(d[:0]) // hasher already reset: the empty-payload digest
+		return w.cw.n, d, nil
 	}
 	if err := w.bw.Flush(); err != nil {
-		return 0, err
+		return 0, d, err
 	}
 	if w.gz != nil {
 		if err := w.gz.Close(); err != nil {
-			return 0, err
+			return 0, d, err
 		}
 		w.needReset = true
 	}
 	if err := w.f.Sync(); err != nil {
-		return 0, err
+		return 0, d, err
 	}
 	w.dirty = false
-	return w.cw.n, nil
+	w.h.Sum(d[:0])
+	w.h.Reset()
+	return w.cw.n, d, nil
 }
 
 // Close closes the shard file. Bytes buffered since the last checkpoint

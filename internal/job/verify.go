@@ -1,0 +1,658 @@
+package job
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	kagen "repro"
+	"repro/internal/merkle"
+)
+
+// Fault reasons reported by Verify.
+const (
+	// FaultManifest: the worker manifest is missing, unparseable, or fails
+	// strict validation — nothing it claims can be trusted.
+	FaultManifest = "manifest-unreadable"
+	// FaultManifestDigest: a chunk re-derived from the spec does not match
+	// the digest (or edge count) the manifest records for it — the
+	// manifest lies about what was generated.
+	FaultManifestDigest = "manifest-digest"
+	// FaultMerkleRoot: a chunk's inclusion proof does not carry its leaf
+	// up to the PE's committed root.
+	FaultMerkleRoot = "merkle-root"
+	// FaultShard: the bytes on disk for a chunk do not reproduce the
+	// chunk's payload digest — rot, truncation, or tampering in the shard
+	// file itself. Unreadable or undecompressable chunk segments are
+	// reported as this too: corruption is the conservative reading of any
+	// failed read.
+	FaultShard = "shard-corrupt"
+)
+
+// Fault is one integrity failure found by Verify. PE and Chunk are -1
+// for faults scoped to a whole worker or a whole shard file.
+type Fault struct {
+	Worker uint64 `json:"worker"`
+	PE     int64  `json:"pe"`
+	Chunk  int64  `json:"chunk"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("worker %d pe %d chunk %d: %s (%s)", f.Worker, f.PE, f.Chunk, f.Reason, f.Detail)
+}
+
+// VerifyOptions tune a verification pass.
+type VerifyOptions struct {
+	// All checks every committed chunk of every PE; otherwise a random
+	// sample of Sample chunks per PE is checked.
+	All bool
+	// Sample is the number of chunks checked per PE when All is false
+	// (0 = 2). With a corruption fraction f among a PE's chunks, a sample
+	// of s misses with probability (1-f)^s — see DESIGN.md.
+	Sample int
+	// Seed seeds the sampling; equal seeds check equal chunks.
+	Seed int64
+}
+
+// VerifyResult aggregates one verification pass.
+type VerifyResult struct {
+	ChunksChecked int     `json:"chunks_checked"`
+	PEsChecked    int     `json:"pes_checked"`
+	Faults        []Fault `json:"faults,omitempty"`
+}
+
+// OK reports a clean pass.
+func (r *VerifyResult) OK() bool { return len(r.Faults) == 0 }
+
+// Verify checks a job directory's committed state against the spec. It
+// is communication-free in exactly the sense the generator is: every
+// chunk's expected bytes are re-derived from the spec via the O(log P)
+// seeded descent, hashed, and compared against the manifest record, the
+// PE's Merkle root (for finalized PEs, through an inclusion proof), and
+// the bytes on disk. No worker's manifest is trusted over the spec.
+//
+// Workers that have not started are skipped — absence of progress is not
+// a fault. An incomplete job verifies its committed prefix.
+func Verify(dir string, opts VerifyOptions) (*VerifyResult, error) {
+	spec, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	streamer, err := spec.Streamer()
+	if err != nil {
+		return nil, err
+	}
+	format := spec.ShardFormat()
+	res := &VerifyResult{}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for w := uint64(0); w < spec.Workers; w++ {
+		mpath := ManifestPath(dir, w)
+		if _, serr := os.Stat(mpath); errors.Is(serr, fs.ErrNotExist) {
+			continue
+		}
+		m, err := ReadManifest(mpath, spec)
+		if err != nil {
+			res.Faults = append(res.Faults, Fault{Worker: w, PE: -1, Chunk: -1, Reason: FaultManifest, Detail: err.Error()})
+			continue
+		}
+		for i := range m.PEs {
+			prog := &m.PEs[i]
+			if prog.ChunksDone == 0 {
+				continue
+			}
+			res.PEsChecked++
+			res.Faults = append(res.Faults, verifyPE(dir, spec, streamer, format, w, prog, opts, rng, &res.ChunksChecked)...)
+		}
+	}
+	return res, nil
+}
+
+// verifyPE checks a sample (or all) of one PE's committed chunks.
+func verifyPE(dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, worker uint64, prog *PEProgress, opts VerifyOptions, rng *rand.Rand, checked *int) []Fault {
+	var faults []Fault
+	pe := int64(prog.PE)
+	path := ShardPath(dir, prog.PE, format)
+	f, err := os.Open(path)
+	if err != nil {
+		return []Fault{{Worker: worker, PE: pe, Chunk: -1, Reason: FaultShard, Detail: err.Error()}}
+	}
+	defer f.Close()
+
+	leaves, err := prog.leafDigests()
+	if err != nil {
+		// ReadManifest validated the digests already; this is unreachable
+		// short of a bug, but fail loudly rather than skip.
+		return []Fault{{Worker: worker, PE: pe, Chunk: -1, Reason: FaultManifest, Detail: err.Error()}}
+	}
+	var root merkle.Digest
+	haveRoot := prog.Done && decodeDigest(prog.Root, &root) == nil
+
+	first, _ := spec.ChunkRange(prog.PE)
+	for _, c := range sampleIndices(int(prog.ChunksDone), opts, rng) {
+		*checked++
+		rec := prog.Chunks[c]
+		payload, edges, err := regenChunk(streamer, format, first+uint64(c))
+		if err != nil {
+			faults = append(faults, Fault{Worker: worker, PE: pe, Chunk: int64(c), Reason: FaultManifestDigest,
+				Detail: fmt.Sprintf("cannot re-derive chunk: %v", err)})
+			continue
+		}
+		leaf := sha256.Sum256(payload)
+		if hex.EncodeToString(leaf[:]) != rec.Digest || edges != rec.Edges {
+			faults = append(faults, Fault{Worker: worker, PE: pe, Chunk: int64(c), Reason: FaultManifestDigest,
+				Detail: fmt.Sprintf("manifest records digest %.12s…/%d edges, spec derives %.12s…/%d", rec.Digest, rec.Edges, hex.EncodeToString(leaf[:]), edges)})
+			continue
+		}
+		if haveRoot {
+			if !merkle.VerifyProof(leaf, merkle.Proof(leaves, c), root) {
+				faults = append(faults, Fault{Worker: worker, PE: pe, Chunk: int64(c), Reason: FaultMerkleRoot,
+					Detail: "inclusion proof does not reach the committed root"})
+				continue
+			}
+		}
+		start, end := prog.chunkBounds(c)
+		disk, err := readChunkPayload(f, format, start, end)
+		if err != nil {
+			faults = append(faults, Fault{Worker: worker, PE: pe, Chunk: int64(c), Reason: FaultShard,
+				Detail: fmt.Sprintf("bytes [%d,%d): %v", start, end, err)})
+			continue
+		}
+		if sha256.Sum256(disk) != leaf {
+			faults = append(faults, Fault{Worker: worker, PE: pe, Chunk: int64(c), Reason: FaultShard,
+				Detail: fmt.Sprintf("bytes [%d,%d) do not reproduce the chunk digest", start, end)})
+		}
+	}
+	return faults
+}
+
+// sampleIndices picks the chunk indices a pass checks: all of them, or a
+// seeded random sample without replacement.
+func sampleIndices(n int, opts VerifyOptions, rng *rand.Rand) []int {
+	if opts.All || n == 0 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	s := opts.Sample
+	if s <= 0 {
+		s = 2
+	}
+	if s > n {
+		s = n
+	}
+	return rng.Perm(n)[:s]
+}
+
+// regenChunk re-derives one global chunk from the spec and returns its
+// payload bytes (format-encoded edges, pre-compression) and edge count.
+func regenChunk(streamer kagen.Streamer, format kagen.Format, globalChunk uint64) ([]byte, uint64, error) {
+	sink := &captureSink{format: format}
+	if err := kagen.StreamChunksFrom(streamer, globalChunk, 1, 1, 0, sink); err != nil {
+		return nil, 0, err
+	}
+	return sink.buf, sink.edges, nil
+}
+
+// captureSink collects one chunk's format-encoded payload in memory.
+type captureSink struct {
+	format kagen.Format
+	buf    []byte
+	edges  uint64
+}
+
+func (s *captureSink) Begin(n, pes uint64) error { return nil }
+func (s *captureSink) Batch(chunk uint64, edges []kagen.Edge) error {
+	s.edges += uint64(len(edges))
+	s.buf = s.format.AppendEdges(s.buf, edges)
+	return nil
+}
+func (s *captureSink) EndPE(chunk uint64) error { return nil }
+func (s *captureSink) Close() error             { return nil }
+
+// readChunkPayload reads the payload bytes of one committed chunk from
+// its shard segment [start, end): verbatim for plain formats, the
+// decompressed gzip member for compressed ones. An empty segment is an
+// empty payload.
+func readChunkPayload(ra io.ReaderAt, format kagen.Format, start, end int64) ([]byte, error) {
+	if end < start {
+		return nil, fmt.Errorf("inverted segment [%d,%d)", start, end)
+	}
+	if end == start {
+		return nil, nil
+	}
+	raw := make([]byte, end-start)
+	if _, err := ra.ReadAt(raw, start); err != nil {
+		return nil, err
+	}
+	if !format.Compressed() {
+		return raw, nil
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := io.ReadAll(gz)
+	if cerr := gz.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// encodeOnDisk returns the exact bytes a shard stores for a chunk
+// payload: verbatim for plain formats, one gzip member for compressed
+// ones, nothing for an empty payload. For compressed shards this
+// reproduces the original member byte-for-byte only under the same
+// deflate implementation that wrote it — callers that splice must check
+// the length and fall back to PE regeneration on mismatch.
+func encodeOnDisk(format kagen.Format, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	if !format.Compressed() {
+		return payload, nil
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RepairResult aggregates one repair pass.
+type RepairResult struct {
+	ChunksSpliced  int     `json:"chunks_spliced"`
+	PEsReset       int     `json:"pes_reset"`
+	WorkersRebuilt int     `json:"workers_rebuilt"`
+	Unrepaired     []Fault `json:"unrepaired,omitempty"`
+}
+
+// Repair fixes the faults a Verify pass found, without regenerating
+// anything that is intact. Shard corruption is repaired by regenerating
+// exactly the failed chunks from the spec and splicing byte-identical
+// replacements into the shard (gzip-member-aligned for compressed
+// formats); if a regenerated member's length does not match the
+// committed segment (a different deflate implementation), the whole PE
+// is reset and regenerated instead. Manifest-level faults rebuild the
+// worker's manifest from the spec and the shard bytes that still match
+// it, then resume the worker to regenerate whatever did not.
+//
+// Repair is as communication-free as generation: any worker holding the
+// spec can repair any shard.
+func Repair(dir string, faults []Fault) (*RepairResult, error) {
+	spec, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	streamer, err := spec.Streamer()
+	if err != nil {
+		return nil, err
+	}
+	format := spec.ShardFormat()
+	res := &RepairResult{}
+
+	byWorker := map[uint64][]Fault{}
+	for _, f := range faults {
+		byWorker[f.Worker] = append(byWorker[f.Worker], f)
+	}
+	for w, wfaults := range byWorker {
+		rebuild := false
+		for _, f := range wfaults {
+			if f.Reason != FaultShard {
+				rebuild = true
+			}
+		}
+		if rebuild {
+			// The manifest cannot be trusted: reconstruct it from the spec
+			// and whatever shard prefix still matches, then resume the
+			// worker to regenerate the rest.
+			if err := RebuildManifest(dir, w); err != nil {
+				res.Unrepaired = append(res.Unrepaired, Fault{Worker: w, PE: -1, Chunk: -1, Reason: FaultManifest, Detail: err.Error()})
+				continue
+			}
+			if err := Run(dir, w, RunOptions{}); err != nil {
+				res.Unrepaired = append(res.Unrepaired, Fault{Worker: w, PE: -1, Chunk: -1, Reason: FaultManifest, Detail: err.Error()})
+				continue
+			}
+			res.WorkersRebuilt++
+			continue
+		}
+		if err := repairShards(dir, spec, streamer, format, w, wfaults, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// repairShards fixes shard-corrupt faults of one worker: chunk splices
+// where the regenerated bytes fit, PE resets where they do not.
+func repairShards(dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, worker uint64, faults []Fault, res *RepairResult) error {
+	m, err := ReadManifest(ManifestPath(dir, worker), spec)
+	if err != nil {
+		return err
+	}
+	resetPEs := map[uint64]bool{}
+	lock, err := acquireWorkerLock(dir, worker)
+	if err != nil {
+		return err
+	}
+	for _, f := range faults {
+		pe := uint64(f.PE)
+		if resetPEs[pe] {
+			continue
+		}
+		prog := m.progress(pe)
+		if prog == nil || f.Chunk < 0 || int(f.Chunk) >= len(prog.Chunks) {
+			resetPEs[pe] = true
+			continue
+		}
+		start, end := prog.chunkBounds(int(f.Chunk))
+		first, _ := spec.ChunkRange(pe)
+		payload, _, err := regenChunk(streamer, format, first+uint64(f.Chunk))
+		if err != nil {
+			lock.Release()
+			return err
+		}
+		member, err := encodeOnDisk(format, payload)
+		if err != nil {
+			lock.Release()
+			return err
+		}
+		if int64(len(member)) != end-start {
+			// A foreign deflate wrote the original member: the regenerated
+			// one cannot be spliced without shifting every later offset.
+			resetPEs[pe] = true
+			continue
+		}
+		if err := spliceFile(ShardPath(dir, pe, format), start, end, member); err != nil {
+			lock.Release()
+			return err
+		}
+		res.ChunksSpliced++
+	}
+	// Reset PEs regenerate from scratch: zero their progress under the
+	// lock, then resume the worker (which re-acquires it).
+	if len(resetPEs) > 0 {
+		for pe := range resetPEs {
+			if prog := m.progress(pe); prog != nil {
+				*prog = PEProgress{PE: pe}
+			}
+		}
+		if err := WriteManifest(ManifestPath(dir, worker), m); err != nil {
+			lock.Release()
+			return err
+		}
+	}
+	lock.Release()
+	if len(resetPEs) > 0 {
+		if err := Run(dir, worker, RunOptions{}); err != nil {
+			return err
+		}
+		res.PEsReset += len(resetPEs)
+	}
+	return nil
+}
+
+// spliceFile atomically replaces bytes [start, end) of a file with
+// replacement, preserving everything around them: the new content is
+// assembled in a temp file in the same directory, synced, and renamed
+// over the original.
+func spliceFile(path string, start, end int64, replacement []byte) error {
+	src, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	tmp := path + ".splice"
+	dst, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = io.CopyN(dst, src, start); err == nil {
+		_, err = dst.Write(replacement)
+	}
+	if err == nil {
+		if _, serr := src.Seek(end, io.SeekStart); serr != nil {
+			err = serr
+		} else {
+			_, err = io.Copy(dst, src)
+		}
+	}
+	if err == nil {
+		err = dst.Sync()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// RebuildManifest reconstructs one worker's manifest from the spec and
+// its shard files alone: each shard's bytes are compared, chunk by
+// chunk, against the spec-derived encoding, and progress is recorded for
+// exactly the prefix that matches. The old manifest — missing, corrupt,
+// or lying — is not consulted. A shard whose matching prefix covers
+// every chunk and whose length matches exactly is finalized with its
+// Merkle root; anything shorter is left resumable, so a following Run
+// regenerates only the unmatched suffix.
+func RebuildManifest(dir string, worker uint64) error {
+	spec, err := Load(dir)
+	if err != nil {
+		return err
+	}
+	if worker >= spec.Workers {
+		return fmt.Errorf("job: worker %d out of range [0, %d)", worker, spec.Workers)
+	}
+	streamer, err := spec.Streamer()
+	if err != nil {
+		return err
+	}
+	format := spec.ShardFormat()
+	lock, err := acquireWorkerLock(dir, worker)
+	if err != nil {
+		return err
+	}
+	defer lock.Release()
+	m := newManifest(spec, worker)
+	for i := range m.PEs {
+		if err := rebuildPE(dir, spec, streamer, format, &m.PEs[i]); err != nil {
+			return err
+		}
+	}
+	return WriteManifest(ManifestPath(dir, worker), m)
+}
+
+// rebuildPE fills one PE's progress from its shard's matching prefix.
+func rebuildPE(dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, prog *PEProgress) error {
+	path := ShardPath(dir, prog.PE, format)
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // no shard: zero progress, Run starts it fresh
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+
+	header, err := encodeOnDisk(format, format.AppendHeader(nil, streamer.N()))
+	if err != nil {
+		return err
+	}
+	if !prefixMatches(f, 0, header, size) {
+		return nil // header does not match: regenerate the shard entirely
+	}
+	off := int64(len(header))
+	prog.Offset, prog.HeaderEnd = off, off
+
+	first, count := spec.ChunkRange(prog.PE)
+	for c := uint64(0); c < count; c++ {
+		payload, edges, err := regenChunk(streamer, format, first+c)
+		if err != nil {
+			return err
+		}
+		member, err := encodeOnDisk(format, payload)
+		if err != nil {
+			return err
+		}
+		if !prefixMatches(f, off, member, size) {
+			return nil // mismatching suffix stays unrecorded; Run redoes it
+		}
+		off += int64(len(member))
+		leaf := sha256.Sum256(payload)
+		prog.Chunks = append(prog.Chunks, ChunkRecord{Digest: hex.EncodeToString(leaf[:]), End: off, Edges: edges})
+		prog.ChunksDone = c + 1
+		prog.Offset = off
+		prog.Edges += edges
+	}
+	if off == size {
+		leaves, err := prog.leafDigests()
+		if err != nil {
+			return err
+		}
+		root := merkle.Root(leaves)
+		prog.Root = hex.EncodeToString(root[:])
+		prog.Done = true
+	}
+	// off < size: a torn tail past the last good chunk — left !Done so the
+	// following Run truncates it away and finalizes.
+	return nil
+}
+
+// prefixMatches reports whether the file holds exactly want at offset
+// off (and has room for it).
+func prefixMatches(f io.ReaderAt, off int64, want []byte, size int64) bool {
+	if len(want) == 0 {
+		return true
+	}
+	if off+int64(len(want)) > size {
+		return false
+	}
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, off); err != nil {
+		return false
+	}
+	return bytes.Equal(got, want)
+}
+
+// auditCommitted re-hashes the committed chunks a resume is about to
+// extend against their manifest digests. On a mismatch — rot or
+// tampering since the checkpoint — the corrupt suffix is copied to a
+// .quarantine file beside the shard, the PE's progress is rolled back to
+// the last intact chunk, and the rolled-back manifest is committed; the
+// caller then regenerates the suffix through the normal resume path.
+// Silently appending to corrupt data would launder the corruption into a
+// "complete" job, which is the one failure mode a tamper-evident store
+// must not have.
+func auditCommitted(path string, format kagen.Format, n uint64, manifest *Manifest, mpath string, prog *PEProgress) error {
+	good := 0 // chunks verified intact
+	headerOK := false
+	f, err := os.Open(path)
+	if err == nil {
+		func() {
+			defer f.Close()
+			payload, herr := readChunkPayload(f, format, 0, prog.HeaderEnd)
+			if herr != nil || !bytes.Equal(payload, format.AppendHeader(nil, n)) {
+				return
+			}
+			headerOK = true
+			var d merkle.Digest
+			for c := range prog.Chunks {
+				start, end := prog.chunkBounds(c)
+				disk, rerr := readChunkPayload(f, format, start, end)
+				if rerr != nil {
+					return
+				}
+				if decodeDigest(prog.Chunks[c].Digest, &d) != nil || sha256.Sum256(disk) != d {
+					return
+				}
+				good = c + 1
+			}
+		}()
+	}
+	if headerOK && good == len(prog.Chunks) {
+		return nil // everything committed is intact
+	}
+	// Quarantine before rollback: keep the corrupt evidence, then shrink
+	// the manifest so resume regenerates from the last intact chunk.
+	if err := quarantine(path, format, prog, headerOK, good); err != nil {
+		return err
+	}
+	if !headerOK {
+		*prog = PEProgress{PE: prog.PE}
+	} else {
+		goodEnd := prog.HeaderEnd
+		var edges uint64
+		for c := 0; c < good; c++ {
+			goodEnd = prog.Chunks[c].End
+			edges += prog.Chunks[c].Edges
+		}
+		prog.Chunks = prog.Chunks[:good]
+		prog.ChunksDone = uint64(good)
+		prog.Offset = goodEnd
+		prog.Edges = edges
+	}
+	return WriteManifest(mpath, manifest)
+}
+
+// quarantine copies the corrupt part of a shard (the whole file if the
+// header is bad, the suffix past the last intact chunk otherwise) to
+// <shard>.quarantine for post-mortem, replacing any previous quarantine.
+func quarantine(path string, format kagen.Format, prog *PEProgress, headerOK bool, good int) error {
+	src, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // nothing on disk to preserve
+	}
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	var from int64
+	if headerOK {
+		from = prog.HeaderEnd
+		if good > 0 {
+			from = prog.Chunks[good-1].End
+		}
+	}
+	if _, err := src.Seek(from, io.SeekStart); err != nil {
+		return err
+	}
+	dst, err := os.Create(path + ".quarantine")
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(dst, src)
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,113 @@
+// Package merkle implements the binary SHA-256 hash tree behind the
+// job runner's tamper-evident chunk manifests: the leaves are per-chunk
+// payload digests, the root is a single 32-byte commitment to a PE's
+// entire shard, and an inclusion proof lets a verifier check one
+// re-derived chunk against the root in O(log chunks) hashes without
+// reading any other chunk.
+//
+// Leaf and internal nodes are domain-separated (0x00 and 0x01 prefixes,
+// as in RFC 6962) so an internal node can never be replayed as a leaf.
+// A level with an odd node count promotes its last node unchanged; with
+// the domain separation in place the promotion is unambiguous because
+// node positions are fixed by the leaf count, which the manifest pins.
+package merkle
+
+import "crypto/sha256"
+
+// Digest is a SHA-256 digest — both the leaf input (a chunk's payload
+// digest) and every tree node.
+type Digest = [sha256.Size]byte
+
+// leafNode wraps a leaf digest into its level-0 tree node.
+func leafNode(d Digest) Digest {
+	var buf [1 + sha256.Size]byte
+	buf[0] = 0x00
+	copy(buf[1:], d[:])
+	return sha256.Sum256(buf[:])
+}
+
+// Node combines two child nodes into their parent.
+func Node(left, right Digest) Digest {
+	var buf [1 + 2*sha256.Size]byte
+	buf[0] = 0x01
+	copy(buf[1:], left[:])
+	copy(buf[1+sha256.Size:], right[:])
+	return sha256.Sum256(buf[:])
+}
+
+// Root returns the tree root over the leaves. A single leaf's root is
+// its wrapped leaf node; the root of zero leaves is the zero digest (no
+// PE commits a shard with zero chunks).
+func Root(leaves []Digest) Digest {
+	if len(leaves) == 0 {
+		return Digest{}
+	}
+	level := make([]Digest, len(leaves))
+	for i, l := range leaves {
+		level[i] = leafNode(l)
+	}
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, Node(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Step is one level of an inclusion proof: the sibling node to combine
+// with, and which side of the running hash it sits on.
+type Step struct {
+	Sibling Digest
+	// Right reports that the sibling is the right child (the running
+	// hash is the left one).
+	Right bool
+}
+
+// Proof returns the inclusion proof of leaf index in the tree over
+// leaves, or nil if index is out of range. Levels where the node is
+// promoted (odd tail) contribute no step.
+func Proof(leaves []Digest, index int) []Step {
+	if index < 0 || index >= len(leaves) {
+		return nil
+	}
+	level := make([]Digest, len(leaves))
+	for i, l := range leaves {
+		level[i] = leafNode(l)
+	}
+	var steps []Step
+	i := index
+	for len(level) > 1 {
+		if sib := i ^ 1; sib < len(level) {
+			steps = append(steps, Step{Sibling: level[sib], Right: i&1 == 0})
+		}
+		next := level[:0]
+		for j := 0; j+1 < len(level); j += 2 {
+			next = append(next, Node(level[j], level[j+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		i /= 2
+	}
+	return steps
+}
+
+// VerifyProof reports whether leaf, carried up through proof, reproduces
+// root.
+func VerifyProof(leaf Digest, proof []Step, root Digest) bool {
+	h := leafNode(leaf)
+	for _, s := range proof {
+		if s.Right {
+			h = Node(h, s.Sibling)
+		} else {
+			h = Node(s.Sibling, h)
+		}
+	}
+	return h == root
+}

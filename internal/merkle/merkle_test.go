@@ -1,0 +1,100 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func leavesOf(n int) []Digest {
+	leaves := make([]Digest, n)
+	for i := range leaves {
+		leaves[i] = sha256.Sum256([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return leaves
+}
+
+func TestRootShapes(t *testing.T) {
+	if Root(nil) != (Digest{}) {
+		t.Error("empty tree root is not the zero digest")
+	}
+	one := leavesOf(1)
+	if Root(one) != leafNode(one[0]) {
+		t.Error("single-leaf root is not the wrapped leaf")
+	}
+	two := leavesOf(2)
+	if Root(two) != Node(leafNode(two[0]), leafNode(two[1])) {
+		t.Error("two-leaf root is not the node over both leaves")
+	}
+	// Odd promotion: with three leaves the last is promoted unchanged.
+	three := leavesOf(3)
+	want := Node(Node(leafNode(three[0]), leafNode(three[1])), leafNode(three[2]))
+	if Root(three) != want {
+		t.Error("three-leaf root does not promote the odd tail")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// A leaf whose digest equals an internal node's must not produce the
+	// same tree node — the 0x00/0x01 prefixes keep the domains apart.
+	l := leavesOf(2)
+	inner := Node(leafNode(l[0]), leafNode(l[1]))
+	if leafNode(inner) == inner {
+		t.Error("leaf wrapping is the identity — no domain separation")
+	}
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 64, 65} {
+		leaves := leavesOf(n)
+		root := Root(leaves)
+		for i := 0; i < n; i++ {
+			proof := Proof(leaves, i)
+			if !VerifyProof(leaves[i], proof, root) {
+				t.Fatalf("n=%d: proof for leaf %d does not verify", n, i)
+			}
+			// The proof must bind the leaf: any other leaf fails with it.
+			wrong := sha256.Sum256([]byte("not the leaf"))
+			if VerifyProof(wrong, proof, root) {
+				t.Fatalf("n=%d: proof for leaf %d verifies a foreign leaf", n, i)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongIndex(t *testing.T) {
+	leaves := leavesOf(5)
+	if Proof(leaves, -1) != nil || Proof(leaves, 5) != nil {
+		t.Error("out-of-range proof index did not return nil")
+	}
+	// A proof for one index must not verify another index's leaf (except
+	// where the tree genuinely places the same value, which distinct
+	// leaves here rule out).
+	root := Root(leaves)
+	for i := range leaves {
+		p := Proof(leaves, i)
+		for j := range leaves {
+			if i != j && VerifyProof(leaves[j], p, root) {
+				t.Fatalf("proof for %d verifies leaf %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRootDependsOnEveryLeaf(t *testing.T) {
+	leaves := leavesOf(9)
+	root := Root(leaves)
+	for i := range leaves {
+		mutated := append([]Digest(nil), leaves...)
+		mutated[i][0] ^= 0x01
+		if Root(mutated) == root {
+			t.Fatalf("flipping a bit of leaf %d left the root unchanged", i)
+		}
+	}
+	// Order matters too.
+	swapped := append([]Digest(nil), leaves...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if Root(swapped) == root {
+		t.Error("swapping two leaves left the root unchanged")
+	}
+}

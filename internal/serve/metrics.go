@@ -70,12 +70,16 @@ type Metrics struct {
 	JobsCompleted   Counter
 	JobsFailed      Counter
 	JobsCancelled   Counter
-	QueueRejected   Counter    // 429s from the bounded submission queue
-	EdgesGenerated  Counter    // edges durably committed (rate = edges/sec)
-	ChunksCommitted Counter    // durable checkpoints
-	QueueDepth      Gauge      // jobs waiting in the submission queue
-	JobsInflight    Gauge      // jobs currently executing
-	Checkpoint      *Histogram // seconds between durable checkpoints
+	QueueRejected   Counter // 429s from the bounded submission queue
+	EdgesGenerated  Counter // edges durably committed (rate = edges/sec)
+	ChunksCommitted Counter // durable checkpoints
+	// Verify/repair counters, fed by POST /jobs/{id}/verify.
+	VerifyChunksChecked Counter    // chunks re-derived and checked
+	VerifyFailures      Counter    // integrity faults found
+	VerifyRepaired      Counter    // chunks spliced + PEs reset + manifests rebuilt
+	QueueDepth          Gauge      // jobs waiting in the submission queue
+	JobsInflight        Gauge      // jobs currently executing
+	Checkpoint          *Histogram // seconds between durable checkpoints
 }
 
 // NewMetrics returns a zeroed metric set with checkpoint-latency buckets
@@ -103,6 +107,9 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"kagen_queue_rejected_total", "Submissions rejected with 429 because the queue was full.", &m.QueueRejected},
 		{"kagen_edges_generated_total", "Edges durably committed across all jobs.", &m.EdgesGenerated},
 		{"kagen_chunks_committed_total", "Durable chunk checkpoints across all jobs.", &m.ChunksCommitted},
+		{"kagen_verify_chunks_checked_total", "Chunks re-derived from the spec and checked by verify.", &m.VerifyChunksChecked},
+		{"kagen_verify_failures_total", "Integrity faults found by verify.", &m.VerifyFailures},
+		{"kagen_verify_repaired_total", "Repair actions taken (chunks spliced, PEs reset, manifests rebuilt).", &m.VerifyRepaired},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",

@@ -11,9 +11,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/job"
 )
 
@@ -398,4 +400,209 @@ func TestServeRejectsBadSpecs(t *testing.T) {
 	if code, _ := get(t, ts.URL+"/jobs/deadbeef/result"); code != http.StatusNotFound {
 		t.Errorf("unknown result returned %d, want 404", code)
 	}
+}
+
+// TestServeVerifyAndRepair: the integrity surface end to end — a chunk
+// corrupted (by the armed failpoint) during generation is caught by
+// POST /jobs/{id}/verify, repaired by ?repair=true, the job's integrity
+// status tracks the passes, and the repaired result is byte-identical to
+// a clean run.
+func TestServeVerifyAndRepair(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	spec := testSpec()
+	want := directMerged(t, spec)
+
+	srv, err := New(Config{Dir: t.TempDir(), Executors: 1, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	failpoint.Arm("job/chunk-bitflip", 2)
+	st, code := submit(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	waitState(t, ts, st.ID, StateComplete)
+	if failpoint.Armed() {
+		t.Fatal("bitflip failpoint never fired")
+	}
+
+	post := func(url string) (int, VerifyResponse) {
+		t.Helper()
+		resp, err := http.Post(url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var vr VerifyResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, vr
+	}
+
+	code, vr := post(ts.URL + "/jobs/" + st.ID + "/verify?all=true")
+	if code != http.StatusOK {
+		t.Fatalf("verify returned %d", code)
+	}
+	if len(vr.Faults) == 0 || vr.Integrity.State != "corrupt" {
+		t.Fatalf("verify of corrupted job: %+v", vr)
+	}
+	// The corrupt status surfaces in GET /jobs/{id}.
+	stNow := waitState(t, ts, st.ID, StateComplete)
+	if stNow.Integrity == nil || stNow.Integrity.State != "corrupt" {
+		t.Fatalf("status integrity %+v, want corrupt", stNow.Integrity)
+	}
+
+	code, vr = post(ts.URL + "/jobs/" + st.ID + "/verify?all=true&repair=true")
+	if code != http.StatusOK {
+		t.Fatalf("repair returned %d", code)
+	}
+	if vr.Integrity.State != "repaired" || vr.Repair == nil || vr.Repair.ChunksSpliced == 0 {
+		t.Fatalf("repair outcome: %+v (repair %+v)", vr.Integrity, vr.Repair)
+	}
+
+	code, got := get(t, ts.URL+"/jobs/"+st.ID+"/result")
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("repaired result: code %d, matches clean run: %v", code, bytes.Equal(got, want))
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, wantMetric := range []string{
+		"kagen_verify_chunks_checked_total",
+		"kagen_verify_failures_total",
+		"kagen_verify_repaired_total",
+	} {
+		if !strings.Contains(string(metrics), wantMetric) {
+			t.Errorf("metrics exposition missing %q", wantMetric)
+		}
+	}
+	if strings.Contains(string(metrics), "kagen_verify_failures_total 0\n") {
+		t.Error("verify failures counter never moved")
+	}
+}
+
+// TestServeETags: the spec hash is a strong ETag for the merged result
+// and (suffixed with the PE) for each shard; If-None-Match revalidation
+// returns 304 with no body.
+func TestServeETags(t *testing.T) {
+	spec := testSpec()
+	srv, err := New(Config{Dir: t.TempDir(), Executors: 1, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	st, _ := submit(t, ts, spec)
+	waitState(t, ts, st.ID, StateComplete)
+
+	check := func(url, wantTag string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("ETag"); got != wantTag {
+			t.Fatalf("%s: ETag %q, want %q", url, got, wantTag)
+		}
+		req, _ := http.NewRequest("GET", url, nil)
+		req.Header.Set("If-None-Match", wantTag)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("%s with If-None-Match: %d, want 304", url, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("%s: 304 carried a %d-byte body", url, len(body))
+		}
+	}
+	check(ts.URL+"/jobs/"+st.ID+"/result", `"`+st.ID+`"`)
+	check(ts.URL+"/jobs/"+st.ID+"/shards/1", `"`+st.ID+`-pe1"`)
+}
+
+// TestServeFailedCompaction: a terminally failed job is moved to
+// failed/, is not re-resumed by a restart's startup scan, stays visible
+// (with its error) until DELETEd, and an identical re-submission starts
+// a fresh run.
+func TestServeFailedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	var failing atomic.Bool
+	failing.Store(true)
+	srv1, err := New(Config{Dir: dir, Executors: 1, QueueCap: 4,
+		OnCheckpoint: func(id string, pe, chunks uint64) error {
+			if failing.Load() {
+				return fmt.Errorf("injected terminal failure")
+			}
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	spec := testSpec()
+	st, code := submit(t, ts1, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	fin := waitState(t, ts1, st.ID, StateFailed)
+	if !strings.Contains(fin.Error, "injected terminal failure") {
+		t.Errorf("failed job error %q does not carry the cause", fin.Error)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "failed", st.ID, "job.json")); err != nil {
+		t.Fatalf("failed job not compacted into failed/: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, st.ID)); !os.IsNotExist(err) {
+		t.Error("failed job directory still in the scan path")
+	}
+	srv1.Close()
+	ts1.Close()
+
+	// Restart: the failed job is registered, not resumed.
+	srv2, err := New(Config{Dir: dir, Executors: 1, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if resumed := srv2.Metrics().JobsResumed.Value(); resumed != 0 {
+		t.Fatalf("restart resumed %d jobs; failed jobs must stay compacted", resumed)
+	}
+	code, body := get(t, ts2.URL+"/jobs/"+st.ID)
+	if code != http.StatusOK || !strings.Contains(string(body), StateFailed) {
+		t.Fatalf("failed job not listed after restart: %d %s", code, body)
+	}
+
+	// DELETE works on the compacted job.
+	req, _ := http.NewRequest("DELETE", ts2.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := os.Stat(filepath.Join(dir, "failed", st.ID)); !os.IsNotExist(err) {
+		t.Error("DELETE left the compacted directory behind")
+	}
+	if code, _ := get(t, ts2.URL+"/jobs/"+st.ID); code != http.StatusNotFound {
+		t.Errorf("deleted job still listed: %d", code)
+	}
+
+	// A healthy re-submission of the same spec runs fresh.
+	failing.Store(false)
+	if _, code := submit(t, ts2, spec); code != http.StatusAccepted {
+		t.Fatalf("re-submit after failure returned %d", code)
+	}
+	waitState(t, ts2, st.ID, StateComplete)
 }

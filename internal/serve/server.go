@@ -80,6 +80,21 @@ type jobState struct {
 	chunksDone  uint64
 	chunksTotal uint64
 	edges       uint64
+	// integrity is the last verify pass's outcome (nil = never verified).
+	// Snapshots are immutable: handlers replace the pointer, never mutate
+	// through it.
+	integrity *IntegrityStatus
+}
+
+// IntegrityStatus is the outcome of the last POST /jobs/{id}/verify.
+type IntegrityStatus struct {
+	// State is "verified" (clean pass), "corrupt" (faults found and not
+	// — or not fully — repaired), or "repaired" (faults found, repaired,
+	// and a follow-up pass came back clean).
+	State         string    `json:"state"`
+	ChunksChecked int       `json:"chunks_checked"`
+	Faults        int       `json:"faults"`
+	CheckedAt     time.Time `json:"checked_at"`
 }
 
 // Server is the generation service. Create with New, mount Handler on an
@@ -121,6 +136,23 @@ func New(cfg Config) (*Server, error) {
 		jobs:    make(map[string]*jobState),
 	}
 
+	// Terminally failed jobs live under failed/ so the startup scan never
+	// re-enqueues them: without the compaction, a job that fails its
+	// resume on every restart would be retried forever. They stay
+	// registered (listable, DELETEable) but inert.
+	for _, dir := range mustList(filepath.Join(cfg.Dir, "failed")) {
+		id := filepath.Base(dir)
+		msg := "failed (moved to failed/ by a previous run)"
+		if b, err := os.ReadFile(filepath.Join(dir, "error.txt")); err == nil && len(b) > 0 {
+			msg = string(b)
+		}
+		js := &jobState{id: id, dir: dir, state: StateFailed, errMsg: msg}
+		if spec, err := job.Load(dir); err == nil {
+			js.spec, js.chunksTotal = spec, spec.TotalChunks()
+		}
+		s.jobs[id] = js
+	}
+
 	dirs, err := job.List(cfg.Dir)
 	if err != nil {
 		cancel()
@@ -131,10 +163,13 @@ func New(cfg Config) (*Server, error) {
 		st, err := job.Inspect(dir)
 		if err != nil {
 			// A corrupt directory must not take the server down — surface
-			// it as a failed job instead.
-			s.jobs[filepath.Base(dir)] = &jobState{
+			// it as a failed job and compact it into failed/ so the next
+			// restart does not rediscover (and re-report) it.
+			js := &jobState{
 				id: filepath.Base(dir), dir: dir, state: StateFailed, errMsg: err.Error(),
 			}
+			s.moveToFailed(js)
+			s.jobs[js.id] = js
 			continue
 		}
 		js := &jobState{
@@ -171,6 +206,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /jobs/{id}/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/shards/{pe}", s.handleShard)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -178,6 +214,35 @@ func New(cfg Config) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s, nil
+}
+
+// mustList is job.List tolerating a missing root (no failed/ yet).
+func mustList(root string) []string {
+	dirs, err := job.List(root)
+	if err != nil {
+		return nil
+	}
+	return dirs
+}
+
+// moveToFailed compacts a terminally failed job into failed/<id>: the
+// directory is moved out of the startup scan's path (so restarts stop
+// retrying it), the failure message is persisted beside it, and js.dir
+// is repointed so status and DELETE keep working.
+func (s *Server) moveToFailed(js *jobState) {
+	dest := filepath.Join(s.cfg.Dir, "failed", js.id)
+	if js.dir == dest {
+		return
+	}
+	if err := os.MkdirAll(filepath.Join(s.cfg.Dir, "failed"), 0o755); err != nil {
+		return // leave it in place; the next restart reports it again
+	}
+	os.RemoveAll(dest)
+	if err := os.Rename(js.dir, dest); err != nil {
+		return
+	}
+	js.dir = dest
+	os.WriteFile(filepath.Join(dest, "error.txt"), []byte(js.errMsg), 0o644)
 }
 
 // Handler returns the HTTP handler to mount.
@@ -197,19 +262,20 @@ func (s *Server) Close() {
 
 // JobStatus is the JSON shape of one job in API responses.
 type JobStatus struct {
-	ID          string `json:"id"`
-	State       string `json:"state"`
-	Model       string `json:"model"`
-	Format      string `json:"format"`
-	Seed        uint64 `json:"seed"`
-	PEs         uint64 `json:"pes"`
-	ChunksPerPE uint64 `json:"chunks_per_pe"`
-	Workers     uint64 `json:"workers"`
-	ChunksDone  uint64 `json:"chunks_done"`
-	ChunksTotal uint64 `json:"chunks_total"`
-	Edges       uint64 `json:"edges"`
-	Cached      bool   `json:"cached,omitempty"`
-	Error       string `json:"error,omitempty"`
+	ID          string           `json:"id"`
+	State       string           `json:"state"`
+	Model       string           `json:"model"`
+	Format      string           `json:"format"`
+	Seed        uint64           `json:"seed"`
+	PEs         uint64           `json:"pes"`
+	ChunksPerPE uint64           `json:"chunks_per_pe"`
+	Workers     uint64           `json:"workers"`
+	ChunksDone  uint64           `json:"chunks_done"`
+	ChunksTotal uint64           `json:"chunks_total"`
+	Edges       uint64           `json:"edges"`
+	Cached      bool             `json:"cached,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Integrity   *IntegrityStatus `json:"integrity,omitempty"`
 }
 
 // statusLocked snapshots a jobState; the caller holds s.mu.
@@ -219,7 +285,7 @@ func (js *jobState) statusLocked() JobStatus {
 		Format: js.spec.Format, Seed: js.spec.Seed, PEs: js.spec.PEs,
 		ChunksPerPE: js.spec.ChunksPerPE, Workers: js.spec.Workers,
 		ChunksDone: js.chunksDone, ChunksTotal: js.chunksTotal,
-		Edges: js.edges, Error: js.errMsg,
+		Edges: js.edges, Error: js.errMsg, Integrity: js.integrity,
 	}
 }
 
@@ -271,9 +337,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, st)
 			return
 		default:
-			// failed or cancelled: fall through and enqueue afresh under
-			// the same identity.
+			// failed or cancelled: drop the stale directory (a compacted
+			// failure lives under failed/) and enqueue afresh under the
+			// same identity.
+			stale := js.dir
 			delete(s.jobs, id)
+			os.RemoveAll(stale)
 		}
 	}
 	js := &jobState{
@@ -382,6 +451,98 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// VerifyResponse is the JSON shape of POST /jobs/{id}/verify.
+type VerifyResponse struct {
+	Integrity *IntegrityStatus  `json:"integrity"`
+	Faults    []job.Fault       `json:"faults,omitempty"`
+	Repair    *job.RepairResult `json:"repair,omitempty"`
+}
+
+// handleVerify runs an integrity pass over a completed job: chunks are
+// re-derived from the spec and checked against manifests, Merkle roots
+// and disk bytes. Query parameters: all=true for an exhaustive pass,
+// sample=N per-PE otherwise, repair=true to regenerate and splice
+// whatever the pass finds (followed by a second pass to prove it clean).
+// The outcome is recorded as the job's integrity status.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state, dir := js.state, js.dir
+	s.mu.Unlock()
+	if state != StateComplete {
+		writeError(w, http.StatusConflict, "job %s is %s, not complete", js.id, state)
+		return
+	}
+	q := r.URL.Query()
+	opts := job.VerifyOptions{All: q.Get("all") == "true" || q.Get("all") == "1"}
+	if v := q.Get("sample"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad sample %q", v)
+			return
+		}
+		opts.Sample = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		opts.Seed = n
+	}
+	repair := q.Get("repair") == "true" || q.Get("repair") == "1"
+
+	// Verify and repair run without s.mu: they only read the spec and
+	// touch the job directory under the per-worker file locks.
+	res, err := job.Verify(dir, opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+		return
+	}
+	s.metrics.VerifyChunksChecked.Add(uint64(res.ChunksChecked))
+	s.metrics.VerifyFailures.Add(uint64(len(res.Faults)))
+
+	resp := VerifyResponse{Faults: res.Faults}
+	integrity := &IntegrityStatus{
+		State: "verified", ChunksChecked: res.ChunksChecked,
+		Faults: len(res.Faults), CheckedAt: time.Now().UTC(),
+	}
+	if !res.OK() {
+		integrity.State = "corrupt"
+		if repair {
+			rep, err := job.Repair(dir, res.Faults)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "repair: %v", err)
+				return
+			}
+			s.metrics.VerifyRepaired.Add(uint64(rep.ChunksSpliced + rep.PEsReset + rep.WorkersRebuilt))
+			resp.Repair = rep
+			after, err := job.Verify(dir, job.VerifyOptions{All: true})
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "re-verify: %v", err)
+				return
+			}
+			s.metrics.VerifyChunksChecked.Add(uint64(after.ChunksChecked))
+			s.metrics.VerifyFailures.Add(uint64(len(after.Faults)))
+			if after.OK() && len(rep.Unrepaired) == 0 {
+				integrity.State = "repaired"
+			} else {
+				resp.Faults = after.Faults
+				integrity.Faults = len(after.Faults)
+			}
+		}
+	}
+	resp.Integrity = integrity
+	s.mu.Lock()
+	js.integrity = integrity
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // contentType maps a shard format to its HTTP media type.
 func contentType(f kagen.Format) string {
 	switch {
@@ -407,6 +568,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if state != StateComplete {
 		writeError(w, http.StatusConflict, "job %s is %s, not complete", js.id, state)
+		return
+	}
+	// The spec hash determines every output byte, so it is a perfect
+	// strong ETag: a client that has the bytes for this hash has *the*
+	// bytes, forever.
+	etag := `"` + js.id + `"`
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", contentType(format))
@@ -460,6 +630,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	format := spec.ShardFormat()
 	w.Header().Set("Content-Type", contentType(format))
+	// Spec hash + PE pins the shard's bytes; ServeFile handles
+	// If-None-Match (304) and If-Range against it.
+	w.Header().Set("ETag", fmt.Sprintf(`"%s-pe%d"`, js.id, pe))
 	http.ServeFile(w, r, job.ShardPath(dir, pe, format))
 }
 
@@ -508,6 +681,9 @@ func (s *Server) execute(srvCtx context.Context, js *jobState) {
 		js.state = StateFailed
 		js.errMsg = err.Error()
 		s.metrics.JobsFailed.Inc()
+		// Compact immediately: the next startup scan must not re-enqueue
+		// a job that just failed for a non-transient reason.
+		s.moveToFailed(js)
 	}
 }
 
