@@ -69,3 +69,7 @@ func BenchmarkAblationSRHGGamma(b *testing.B)   { benchreg.Group(b, "AblationSRH
 func BenchmarkAblationMorton(b *testing.B)      { benchreg.Group(b, "AblationMorton") }
 func BenchmarkAblationRHGOutward(b *testing.B)  { benchreg.Group(b, "AblationRHGOutward") }
 func BenchmarkAblationStreamSetup(b *testing.B) { benchreg.Group(b, "AblationStreamSetup") }
+
+// --- Delaunay insert hot path (adaptive predicates + arenas) ---
+
+func BenchmarkDelaunay(b *testing.B) { benchreg.Group(b, "Delaunay") }

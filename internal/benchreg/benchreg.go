@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/delaunay"
 	"repro/internal/dist"
 	"repro/internal/gnm"
 	"repro/internal/gnp"
@@ -569,6 +570,86 @@ func All() []Case {
 			r.Uint64()
 		}
 	})
+
+	// --- Delaunay insert hot path (adaptive predicates + arenas) ---
+	{
+		const n = 4096
+		add("Delaunay/insert2d", func(b *testing.B) {
+			r := prng.New(7, 1)
+			pts := make([][2]float64, n)
+			for i := range pts {
+				pts[i] = [2]float64{r.Float64(), r.Float64()}
+			}
+			t := delaunay.NewT2(n)
+			// Warm the arenas past any hint shortfall so even a 1-iteration
+			// run measures the steady state.
+			for _, p := range pts {
+				t.Insert(p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Reset()
+				for _, p := range pts {
+					t.Insert(p)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
+		add("Delaunay/insert3d", func(b *testing.B) {
+			r := prng.New(7, 2)
+			pts := make([][3]float64, n)
+			for i := range pts {
+				pts[i] = [3]float64{r.Float64(), r.Float64(), r.Float64()}
+			}
+			t := delaunay.NewT3(n)
+			for _, p := range pts {
+				t.Insert(p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Reset()
+				for _, p := range pts {
+					t.Insert(p)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
+		// Filter hit-rate on the RDG-like workload: points plus torus-wrapped
+		// copies, whose exactly coplanar quadruples force the exact fallback.
+		add("Delaunay/filter3d", func(b *testing.B) {
+			const half = 1024
+			r := prng.New(7, 3)
+			pts := make([][3]float64, 0, 2*half)
+			for i := 0; i < half; i++ {
+				p := [3]float64{r.Float64(), r.Float64(), r.Float64()}
+				pts = append(pts, p, [3]float64{p[0] + 1, p[1], p[2]})
+			}
+			t := delaunay.NewT3(len(pts))
+			for _, p := range pts {
+				t.Insert(p)
+			}
+			var stats delaunay.FilterStats
+			delaunay.CollectFilterStats(&stats)
+			defer delaunay.CollectFilterStats(nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Reset()
+				for _, p := range pts {
+					t.Insert(p)
+				}
+			}
+			b.StopTimer()
+			if tot := stats.InSphereFast + stats.InSphereExact; tot > 0 {
+				b.ReportMetric(float64(stats.InSphereExact)/float64(tot), "insphere-exact-frac")
+			}
+			if tot := stats.Orient3DFast + stats.Orient3DExact; tot > 0 {
+				b.ReportMetric(float64(stats.Orient3DExact)/float64(tot), "orient3d-exact-frac")
+			}
+		})
+	}
 
 	return cases
 }

@@ -14,22 +14,29 @@ type Tri struct {
 }
 
 // T2 is an incremental 2-D Delaunay triangulation. Point indices 0..2 are
-// the artificial super-triangle vertices.
+// the artificial super-triangle vertices. Per-triangle liveness and cavity
+// membership share one state word (see the T3 epoch scheme).
 type T2 struct {
-	Pts  [][2]float64
-	Tris []Tri
-	dead []bool
-	free []int32
-	last int32 // walk start hint
+	Pts      [][2]float64
+	Tris     []Tri
+	state    []uint32 // parallel to Tris: deadBit | cavity epoch
+	free     []int32
+	last     int32 // walk start hint
+	liveHint int32 // most recently allocated tri; live between insertions
+	epoch    uint32
 
 	// scratch buffers reused across insertions
-	cavity   []int32
-	inCav    map[int32]bool
-	stack    []int32
-	edgeTri  map[int32]int32 // boundary edge start vertex -> new tri
-	edgeTri2 map[int32]int32 // boundary edge end vertex -> new tri
-	bnd      []boundary2
-	newTris  []int32
+	cavity  []int32
+	stack   []int32
+	bnd     []boundary2
+	newTris []int32
+	// Fan-link scratch, indexed by vertex: vstart[v] is the new triangle
+	// whose boundary edge starts at v, vend[v] the one whose edge ends at
+	// v. Each insertion writes both slots of every boundary-cycle vertex
+	// before any slot is read, so no per-insert clearing is needed.
+	vstart []int32
+	vend   []int32
+	seen   map[[2]int32]bool // Edges dedup scratch, reused across calls
 }
 
 // boundary2 is one cavity boundary edge, oriented CCW seen from inside
@@ -40,13 +47,22 @@ type boundary2 struct {
 }
 
 // NewT2 creates a triangulation whose super-triangle encloses the domain
-// [-superCoord/2, superCoord/2]^2.
+// [-superCoord/2, superCoord/2]^2. hint pre-sizes the point and triangle
+// arenas (a planar triangulation has < 2n triangles, plus free-list
+// churn) so steady-state insertion never grows them.
 func NewT2(hint int) *T2 {
 	t := &T2{
-		Pts:      make([][2]float64, 0, hint+3),
-		inCav:    make(map[int32]bool),
-		edgeTri:  make(map[int32]int32),
-		edgeTri2: make(map[int32]int32),
+		Pts:     make([][2]float64, 0, hint+3),
+		Tris:    make([]Tri, 0, 4*hint+8),
+		state:   make([]uint32, 0, 4*hint+8),
+		free:    make([]int32, 0, 32),
+		cavity:  make([]int32, 0, 32),
+		stack:   make([]int32, 0, 32),
+		bnd:     make([]boundary2, 0, 32),
+		newTris: make([]int32, 0, 32),
+		vstart:  make([]int32, 0, hint+3),
+		vend:    make([]int32, 0, hint+3),
+		seen:    make(map[[2]int32]bool),
 	}
 	t.Pts = append(t.Pts,
 		[2]float64{-3 * superCoord, -3 * superCoord},
@@ -54,53 +70,71 @@ func NewT2(hint int) *T2 {
 		[2]float64{0, 3 * superCoord},
 	)
 	t.Tris = append(t.Tris, Tri{V: [3]int32{0, 1, 2}, N: [3]int32{-1, -1, -1}})
-	t.dead = append(t.dead, false)
+	t.state = append(t.state, 0)
 	return t
 }
 
 // Reset rewinds the triangulation to its freshly constructed state — only
 // the super-triangle — while keeping every backing allocation (point and
-// triangle stores, scratch buffers, maps). A caller that triangulates
-// many point sets of similar size reuses one T2 and allocates nothing in
+// triangle stores, scratch buffers). A caller that triangulates many
+// point sets of similar size reuses one T2 and allocates nothing in
 // steady state; the insertion behaviour after Reset is bit-identical to a
 // fresh NewT2.
 func (t *T2) Reset() {
 	t.Pts = t.Pts[:3]
 	t.Tris = t.Tris[:1]
 	t.Tris[0] = Tri{V: [3]int32{0, 1, 2}, N: [3]int32{-1, -1, -1}}
-	t.dead = t.dead[:1]
-	t.dead[0] = false
+	t.state = t.state[:1]
+	t.state[0] = 0
 	t.free = t.free[:0]
 	t.last = 0
+	t.liveHint = 0
+	t.vstart = t.vstart[:0]
+	t.vend = t.vend[:0]
+}
+
+// nextEpoch advances the cavity epoch, clearing stale stamps in bulk on
+// the (once per 2^31 insertions) wraparound.
+func (t *T2) nextEpoch() uint32 {
+	t.epoch++
+	if t.epoch&epochMask == 0 {
+		for i, s := range t.state {
+			t.state[i] = s & deadBit
+		}
+		t.epoch = 1
+	}
+	return t.epoch
 }
 
 // Insert adds a point and returns its index.
 func (t *T2) Insert(p [2]float64) int32 {
 	idx := int32(len(t.Pts))
 	t.Pts = append(t.Pts, p)
+	for len(t.vstart) < len(t.Pts) {
+		t.vstart = append(t.vstart, -1)
+		t.vend = append(t.vend, -1)
+	}
 
 	loc := t.locate(p)
 
 	// Collect the cavity: every triangle whose circumcircle contains p,
 	// grown by BFS from the containing triangle.
+	ep := t.nextEpoch()
 	t.cavity = t.cavity[:0]
 	t.stack = t.stack[:0]
-	for k := range t.inCav {
-		delete(t.inCav, k)
-	}
 	t.stack = append(t.stack, loc)
-	t.inCav[loc] = true
+	t.state[loc] = ep
 	for len(t.stack) > 0 {
 		cur := t.stack[len(t.stack)-1]
 		t.stack = t.stack[:len(t.stack)-1]
 		t.cavity = append(t.cavity, cur)
 		for _, nb := range t.Tris[cur].N {
-			if nb < 0 || t.inCav[nb] {
+			if nb < 0 || t.state[nb] == ep {
 				continue
 			}
 			tri := &t.Tris[nb]
 			if InCircle(t.Pts[tri.V[0]], t.Pts[tri.V[1]], t.Pts[tri.V[2]], p) > 0 {
-				t.inCav[nb] = true
+				t.state[nb] = ep
 				t.stack = append(t.stack, nb)
 			}
 		}
@@ -108,18 +142,12 @@ func (t *T2) Insert(p [2]float64) int32 {
 
 	// Gather boundary edges (edge (V[i+1], V[i+2]) of a cavity triangle
 	// whose neighbour N[i] is outside), create the fan of new triangles.
-	for k := range t.edgeTri {
-		delete(t.edgeTri, k)
-	}
-	for k := range t.edgeTri2 {
-		delete(t.edgeTri2, k)
-	}
 	edges := t.bnd[:0]
 	for _, cur := range t.cavity {
 		tri := t.Tris[cur]
 		for i := 0; i < 3; i++ {
 			nb := tri.N[i]
-			if nb >= 0 && t.inCav[nb] {
+			if nb >= 0 && t.state[nb] == ep {
 				continue
 			}
 			edges = append(edges, boundary2{
@@ -142,8 +170,8 @@ func (t *T2) Insert(p [2]float64) int32 {
 				}
 			}
 		}
-		t.edgeTri[e.a] = ti  // tri whose boundary edge starts at a
-		t.edgeTri2[e.b] = ti // tri whose boundary edge ends at b
+		t.vstart[e.a] = ti // tri whose boundary edge starts at a
+		t.vend[e.b] = ti   // tri whose boundary edge ends at b
 		newTris = append(newTris, ti)
 	}
 	// Link the fan: tri (a,b,idx) has neighbour opposite a across edge
@@ -152,12 +180,12 @@ func (t *T2) Insert(p [2]float64) int32 {
 	for _, ti := range newTris {
 		tri := &t.Tris[ti]
 		a, b := tri.V[0], tri.V[1]
-		tri.N[0] = t.edgeTri[b]
-		tri.N[1] = t.edgeTri2[a]
+		tri.N[0] = t.vstart[b]
+		tri.N[1] = t.vend[a]
 	}
 	// Retire the cavity.
 	for _, cur := range t.cavity {
-		t.dead[cur] = true
+		t.state[cur] = deadBit
 		t.free = append(t.free, cur)
 	}
 	t.last = newTris[0]
@@ -169,24 +197,24 @@ func (t *T2) alloc() int32 {
 	if n := len(t.free); n > 0 {
 		ti := t.free[n-1]
 		t.free = t.free[:n-1]
-		t.dead[ti] = false
+		t.state[ti] = 0
+		t.liveHint = ti
 		return ti
 	}
 	t.Tris = append(t.Tris, Tri{})
-	t.dead = append(t.dead, false)
-	return int32(len(t.Tris) - 1)
+	t.state = append(t.state, 0)
+	ti := int32(len(t.Tris) - 1)
+	t.liveHint = ti
+	return ti
 }
 
 // locate walks from the hint triangle to the triangle containing p.
 func (t *T2) locate(p [2]float64) int32 {
 	cur := t.last
-	if cur < 0 || int(cur) >= len(t.Tris) || t.dead[cur] {
-		for i := range t.Tris {
-			if !t.dead[i] {
-				cur = int32(i)
-				break
-			}
-		}
+	if cur < 0 || int(cur) >= len(t.Tris) || t.state[cur]&deadBit != 0 {
+		// liveHint is maintained live by alloc (see T2), so the walk can
+		// always start there — no O(tris) rescan of dead slots.
+		cur = t.liveHint
 	}
 	for steps := 0; steps < 8*len(t.Tris)+64; steps++ {
 		tri := t.Tris[cur]
@@ -217,14 +245,18 @@ func (t *T2) locate(p [2]float64) int32 {
 func (t *T2) IsSuper(idx int32) bool { return idx < 3 }
 
 // Dead reports whether a triangle slot has been retired by an insertion.
-func (t *T2) Dead(ti int) bool { return t.dead[ti] }
+func (t *T2) Dead(ti int) bool { return t.state[ti]&deadBit != 0 }
 
 // Edges calls emit once for every undirected edge (a < b) between real
 // (non-super) points.
 func (t *T2) Edges(emit func(a, b int32)) {
-	seen := make(map[[2]int32]bool)
+	if t.seen == nil {
+		t.seen = make(map[[2]int32]bool)
+	}
+	seen := t.seen
+	clear(seen)
 	for ti := range t.Tris {
-		if t.dead[ti] {
+		if t.state[ti]&deadBit != 0 {
 			continue
 		}
 		tri := t.Tris[ti]
@@ -248,7 +280,7 @@ func (t *T2) Edges(emit func(a, b int32)) {
 // Triangles calls emit for every live triangle with only real vertices.
 func (t *T2) Triangles(emit func(v0, v1, v2 int32)) {
 	for ti := range t.Tris {
-		if t.dead[ti] {
+		if t.state[ti]&deadBit != 0 {
 			continue
 		}
 		tri := t.Tris[ti]

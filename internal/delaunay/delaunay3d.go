@@ -13,24 +13,37 @@ type Tet struct {
 // so that Orient3D(face, V[i]) > 0 for a positively oriented tetrahedron.
 var faceOrder = [4][3]int{{2, 1, 3}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}}
 
+// Per-tet state word: the top bit marks a retired (dead) slot, the low 31
+// bits hold the cavity epoch stamp. A tet is in the current insertion's
+// cavity iff its state equals the current epoch — dead slots can never
+// match because the dead bit is set, and freshly allocated tets carry
+// state 0 while epochs start at 1. No per-insert clearing is needed; the
+// epoch increment invalidates every stale stamp at once.
+const (
+	deadBit   = uint32(1) << 31
+	epochMask = deadBit - 1
+)
+
 // T3 is an incremental 3-D Delaunay tetrahedralization. Point indices 0..3
 // are the artificial bounding tetrahedron.
 type T3 struct {
-	Pts  [][3]float64
-	Tets []Tet
-	dead []bool
-	free []int32
-	last int32
+	Pts   [][3]float64
+	Tets  []Tet
+	state []uint32 // parallel to Tets: deadBit | cavity epoch
+	free  []int32
+	last  int32
+	// liveHint is the most recently allocated tet. Retirement only happens
+	// inside Insert after that insertion's allocations, so the hint always
+	// names a live tet between insertions — an O(1) locate fallback.
+	liveHint int32
+	epoch    uint32
 
 	cavity  []int32
-	inCav   map[int32]bool
 	stack   []int32
 	faces   []boundary3
 	newTets []int32
-	// edgeMap matches the two boundary faces sharing each cavity edge; by
-	// the matching invariant it is empty again after every insertion, so
-	// it is reused without clearing.
-	edgeMap map[[2]int32]slotRef
+	edges   edgeTable
+	seen    map[[2]int32]bool // Edges dedup scratch, reused across calls
 }
 
 // boundary3 is one cavity boundary face with the tetrahedron outside it
@@ -40,18 +53,82 @@ type boundary3 struct {
 	outside int32
 }
 
-// slotRef addresses one neighbour slot of a tetrahedron.
-type slotRef struct {
-	tet  int32
-	slot int
+// edgeTable matches the two cavity-boundary faces sharing each boundary
+// edge. It is an open-addressed, epoch-stamped scratch table: begin()
+// bumps the stamp, which empties every slot logically without touching
+// memory, and matched pairs are marked consumed (tet = -1) rather than
+// deleted so linear-probe chains stay intact. The unmatched counter
+// restores the old map invariant: it must be zero after every insertion.
+type edgeTable struct {
+	slots     []edgeSlot
+	stamp     uint32
+	unmatched int
+}
+
+type edgeSlot struct {
+	stamp uint32
+	tet   int32
+	slot  int32
+	key   [2]int32
+}
+
+// begin readies the table for up to n entries at load factor <= 1/2.
+func (e *edgeTable) begin(n int) {
+	want := 16
+	for want < 2*n {
+		want <<= 1
+	}
+	if want > len(e.slots) {
+		e.slots = make([]edgeSlot, want)
+		e.stamp = 0
+	}
+	e.stamp++
+	if e.stamp == 0 {
+		for i := range e.slots {
+			e.slots[i] = edgeSlot{}
+		}
+		e.stamp = 1
+	}
+	e.unmatched = 0
+}
+
+// match looks the edge up: on a hit it consumes the stored face and
+// returns it; on a miss it records (tet, slot) and returns ok=false.
+func (e *edgeTable) match(key [2]int32, tet, slot int32) (mtet, mslot int32, ok bool) {
+	mask := uint32(len(e.slots) - 1)
+	i := (uint32(key[0])*2654435761 ^ uint32(key[1])*2246822519) & mask
+	for {
+		s := &e.slots[i]
+		if s.stamp != e.stamp {
+			*s = edgeSlot{stamp: e.stamp, tet: tet, slot: slot, key: key}
+			e.unmatched++
+			return 0, 0, false
+		}
+		if s.key == key && s.tet >= 0 {
+			mtet, mslot = s.tet, s.slot
+			s.tet = -1
+			e.unmatched--
+			return mtet, mslot, true
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // NewT3 creates a tetrahedralization whose super-tetrahedron encloses the
-// domain comfortably.
+// domain comfortably. hint is the expected number of inserted points; the
+// tet arena is pre-sized for the ≈6.77·n tets of a random 3-D point set
+// plus free-list churn, so steady-state insertion never grows it.
 func NewT3(hint int) *T3 {
 	t := &T3{
-		Pts:   make([][3]float64, 0, hint+4),
-		inCav: make(map[int32]bool),
+		Pts:     make([][3]float64, 0, hint+4),
+		Tets:    make([]Tet, 0, 8*hint+16),
+		state:   make([]uint32, 0, 8*hint+16),
+		free:    make([]int32, 0, 64),
+		cavity:  make([]int32, 0, 64),
+		stack:   make([]int32, 0, 64),
+		faces:   make([]boundary3, 0, 64),
+		newTets: make([]int32, 0, 64),
+		seen:    make(map[[2]int32]bool),
 	}
 	const s = superCoord
 	t.Pts = append(t.Pts,
@@ -62,7 +139,7 @@ func NewT3(hint int) *T3 {
 	)
 	// Orient3D of these four is positive (right-handed axes).
 	t.Tets = append(t.Tets, Tet{V: [4]int32{0, 1, 2, 3}, N: [4]int32{-1, -1, -1, -1}})
-	t.dead = append(t.dead, false)
+	t.state = append(t.state, 0)
 	return t
 }
 
@@ -73,10 +150,24 @@ func (t *T3) Reset() {
 	t.Pts = t.Pts[:4]
 	t.Tets = t.Tets[:1]
 	t.Tets[0] = Tet{V: [4]int32{0, 1, 2, 3}, N: [4]int32{-1, -1, -1, -1}}
-	t.dead = t.dead[:1]
-	t.dead[0] = false
+	t.state = t.state[:1]
+	t.state[0] = 0
 	t.free = t.free[:0]
 	t.last = 0
+	t.liveHint = 0
+}
+
+// nextEpoch advances the cavity epoch, clearing stale stamps in bulk on
+// the (once per 2^31 insertions) wraparound.
+func (t *T3) nextEpoch() uint32 {
+	t.epoch++
+	if t.epoch&epochMask == 0 {
+		for i, s := range t.state {
+			t.state[i] = s & deadBit
+		}
+		t.epoch = 1
+	}
+	return t.epoch
 }
 
 // Insert adds a point and returns its index.
@@ -86,24 +177,22 @@ func (t *T3) Insert(p [3]float64) int32 {
 
 	loc := t.locate(p)
 
+	ep := t.nextEpoch()
 	t.cavity = t.cavity[:0]
 	t.stack = t.stack[:0]
-	for k := range t.inCav {
-		delete(t.inCav, k)
-	}
 	t.stack = append(t.stack, loc)
-	t.inCav[loc] = true
+	t.state[loc] = ep
 	for len(t.stack) > 0 {
 		cur := t.stack[len(t.stack)-1]
 		t.stack = t.stack[:len(t.stack)-1]
 		t.cavity = append(t.cavity, cur)
 		for _, nb := range t.Tets[cur].N {
-			if nb < 0 || t.inCav[nb] {
+			if nb < 0 || t.state[nb] == ep {
 				continue
 			}
 			tt := &t.Tets[nb]
 			if InSphere(t.Pts[tt.V[0]], t.Pts[tt.V[1]], t.Pts[tt.V[2]], t.Pts[tt.V[3]], p) > 0 {
-				t.inCav[nb] = true
+				t.state[nb] = ep
 				t.stack = append(t.stack, nb)
 			}
 		}
@@ -114,7 +203,7 @@ func (t *T3) Insert(p [3]float64) int32 {
 		tt := t.Tets[cur]
 		for i := 0; i < 4; i++ {
 			nb := tt.N[i]
-			if nb >= 0 && t.inCav[nb] {
+			if nb >= 0 && t.state[nb] == ep {
 				continue
 			}
 			fo := faceOrder[i]
@@ -127,12 +216,9 @@ func (t *T3) Insert(p [3]float64) int32 {
 	t.faces = faces
 
 	// Create one new tet per boundary face and link internal faces via the
-	// shared-edge map (each edge of the boundary polyhedron is shared by
+	// shared-edge table (each edge of the boundary polyhedron is shared by
 	// exactly two faces).
-	if t.edgeMap == nil {
-		t.edgeMap = make(map[[2]int32]slotRef, len(faces)*3/2)
-	}
-	edgeMap := t.edgeMap
+	t.edges.begin(3 * len(faces))
 	newTets := t.newTets[:0]
 	for _, bf := range faces {
 		ti := t.alloc()
@@ -157,22 +243,18 @@ func (t *T3) Insert(p [3]float64) int32 {
 			if a > b {
 				a, b = b, a
 			}
-			key := [2]int32{a, b}
-			if ref, ok := edgeMap[key]; ok {
-				t.Tets[ti].N[j] = ref.tet
-				t.Tets[ref.tet].N[ref.slot] = ti
-				delete(edgeMap, key)
-			} else {
-				edgeMap[key] = slotRef{tet: ti, slot: j}
+			if mt, ms, ok := t.edges.match([2]int32{a, b}, ti, int32(j)); ok {
+				t.Tets[ti].N[j] = mt
+				t.Tets[mt].N[ms] = ti
 			}
 		}
 		newTets = append(newTets, ti)
 	}
-	if len(edgeMap) != 0 {
-		panic(fmt.Sprintf("delaunay3d: %d unmatched boundary edges", len(edgeMap)))
+	if t.edges.unmatched != 0 {
+		panic(fmt.Sprintf("delaunay3d: %d unmatched boundary edges", t.edges.unmatched))
 	}
 	for _, cur := range t.cavity {
-		t.dead[cur] = true
+		t.state[cur] = deadBit
 		t.free = append(t.free, cur)
 	}
 	t.last = newTets[0]
@@ -184,23 +266,23 @@ func (t *T3) alloc() int32 {
 	if n := len(t.free); n > 0 {
 		ti := t.free[n-1]
 		t.free = t.free[:n-1]
-		t.dead[ti] = false
+		t.state[ti] = 0
+		t.liveHint = ti
 		return ti
 	}
 	t.Tets = append(t.Tets, Tet{})
-	t.dead = append(t.dead, false)
-	return int32(len(t.Tets) - 1)
+	t.state = append(t.state, 0)
+	ti := int32(len(t.Tets) - 1)
+	t.liveHint = ti
+	return ti
 }
 
 func (t *T3) locate(p [3]float64) int32 {
 	cur := t.last
-	if cur < 0 || int(cur) >= len(t.Tets) || t.dead[cur] {
-		for i := range t.Tets {
-			if !t.dead[i] {
-				cur = int32(i)
-				break
-			}
-		}
+	if cur < 0 || int(cur) >= len(t.Tets) || t.state[cur]&deadBit != 0 {
+		// liveHint is maintained live by alloc (see T3), so the walk can
+		// always start there — no O(tets) rescan of dead slots.
+		cur = t.liveHint
 	}
 	for steps := 0; steps < 8*len(t.Tets)+64; steps++ {
 		tt := t.Tets[cur]
@@ -231,13 +313,17 @@ func (t *T3) locate(p [3]float64) int32 {
 func (t *T3) IsSuper(idx int32) bool { return idx < 4 }
 
 // Dead reports whether a tetrahedron slot has been retired by an insertion.
-func (t *T3) Dead(ti int) bool { return t.dead[ti] }
+func (t *T3) Dead(ti int) bool { return t.state[ti]&deadBit != 0 }
 
 // Edges calls emit once per undirected edge (a < b) between real points.
 func (t *T3) Edges(emit func(a, b int32)) {
-	seen := make(map[[2]int32]bool)
+	if t.seen == nil {
+		t.seen = make(map[[2]int32]bool)
+	}
+	seen := t.seen
+	clear(seen)
 	for ti := range t.Tets {
-		if t.dead[ti] {
+		if t.state[ti]&deadBit != 0 {
 			continue
 		}
 		tt := t.Tets[ti]
@@ -263,7 +349,7 @@ func (t *T3) Edges(emit func(a, b int32)) {
 // Tetrahedra calls emit for every live tetrahedron with only real vertices.
 func (t *T3) Tetrahedra(emit func(v [4]int32)) {
 	for ti := range t.Tets {
-		if t.dead[ti] {
+		if t.state[ti]&deadBit != 0 {
 			continue
 		}
 		tt := t.Tets[ti]

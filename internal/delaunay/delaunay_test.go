@@ -155,14 +155,14 @@ func TestDelaunay2DStructure(t *testing.T) {
 	}
 	// Mutual neighbour pointers.
 	for ti := range tr.Tris {
-		if tr.dead[ti] {
+		if tr.Dead(ti) {
 			continue
 		}
 		for _, nb := range tr.Tris[ti].N {
 			if nb < 0 {
 				continue
 			}
-			if tr.dead[nb] {
+			if tr.Dead(int(nb)) {
 				t.Fatalf("triangle %d points to dead neighbour %d", ti, nb)
 			}
 			found := false
@@ -183,7 +183,7 @@ func TestDelaunay2DOrientation(t *testing.T) {
 	pts := randomPoints2(300, 9)
 	tr := Triangulate2D(pts)
 	for ti := range tr.Tris {
-		if tr.dead[ti] {
+		if tr.Dead(ti) {
 			continue
 		}
 		v := tr.Tris[ti].V
@@ -248,7 +248,7 @@ func TestDelaunay3DStructure(t *testing.T) {
 		t.Fatalf("%d points stored", len(tr.Pts))
 	}
 	for ti := range tr.Tets {
-		if tr.dead[ti] {
+		if tr.Dead(ti) {
 			continue
 		}
 		v := tr.Tets[ti].V
@@ -351,7 +351,7 @@ func TestDelaunay3DLattice(t *testing.T) {
 	tr := Triangulate3D(pts)
 	count := 0
 	for ti := range tr.Tets {
-		if tr.dead[ti] {
+		if tr.Dead(ti) {
 			continue
 		}
 		v := tr.Tets[ti].V

@@ -1,0 +1,191 @@
+package delaunay
+
+import "math"
+
+// Error-free float64 expansion arithmetic after Shewchuk ("Adaptive
+// Precision Floating-Point Arithmetic and Fast Robust Geometric
+// Predicates", 1997). A value is represented as an expansion: a sum of
+// float64 components, nonoverlapping and sorted by increasing magnitude,
+// whose exact sum is the represented number. The sign of an expansion is
+// the sign of its largest (last) component. All routines work on
+// caller-provided fixed-size arrays, so the exact predicate fallbacks
+// built from them allocate nothing.
+//
+// Exactness requires that no intermediate product overflows and no
+// nonzero roundoff term falls into the subnormal range. The generators
+// only ever evaluate predicates on coordinates in [-9e4, 9e4] (the
+// super-simplex scale), where every intermediate stays comfortably within
+// normal float64 range; see DESIGN.md "Adaptive predicates and the tet
+// arena" for the bound.
+
+// twoSum computes a+b exactly as x+y with x = fl(a+b).
+func twoSum(a, b float64) (x, y float64) {
+	x = a + b
+	bvirt := x - a
+	avirt := x - bvirt
+	bround := b - bvirt
+	around := a - avirt
+	return x, around + bround
+}
+
+// fastTwoSum is twoSum under the precondition |a| >= |b|.
+func fastTwoSum(a, b float64) (x, y float64) {
+	x = a + b
+	bvirt := x - a
+	return x, b - bvirt
+}
+
+// twoDiff computes a-b exactly as x+y with x = fl(a-b).
+func twoDiff(a, b float64) (x, y float64) {
+	x = a - b
+	bvirt := a - x
+	avirt := x + bvirt
+	bround := bvirt - b
+	around := a - avirt
+	return x, around + bround
+}
+
+// twoProduct computes a*b exactly as x+y with x = fl(a*b). math.FMA
+// rounds a*b-x in one step, and a*b-x is exactly representable, so y is
+// the exact roundoff (Ogita/Rump/Oishi; replaces Shewchuk's Split).
+func twoProduct(a, b float64) (x, y float64) {
+	x = a * b
+	return x, math.FMA(a, b, -x)
+}
+
+// fastExpansionSum adds expansions e and f into h, eliminating zero
+// components (Shewchuk's FAST-EXPANSION-SUM-ZEROELIM). h must not alias e
+// or f and needs room for len(e)+len(f) components. Returns the component
+// count, at least 1 (h[0] = 0 for a zero sum).
+func fastExpansionSum(e, f, h []float64) int {
+	elen, flen := len(e), len(f)
+	eidx, fidx, hidx := 0, 0, 0
+	enow, fnow := e[0], f[0]
+	var q, hh float64
+	if (fnow > enow) == (fnow > -enow) {
+		q = enow
+		eidx++
+		if eidx < elen {
+			enow = e[eidx]
+		}
+	} else {
+		q = fnow
+		fidx++
+		if fidx < flen {
+			fnow = f[fidx]
+		}
+	}
+	if eidx < elen && fidx < flen {
+		if (fnow > enow) == (fnow > -enow) {
+			q, hh = fastTwoSum(enow, q)
+			eidx++
+			if eidx < elen {
+				enow = e[eidx]
+			}
+		} else {
+			q, hh = fastTwoSum(fnow, q)
+			fidx++
+			if fidx < flen {
+				fnow = f[fidx]
+			}
+		}
+		if hh != 0 {
+			h[hidx] = hh
+			hidx++
+		}
+		for eidx < elen && fidx < flen {
+			if (fnow > enow) == (fnow > -enow) {
+				q, hh = twoSum(q, enow)
+				eidx++
+				if eidx < elen {
+					enow = e[eidx]
+				}
+			} else {
+				q, hh = twoSum(q, fnow)
+				fidx++
+				if fidx < flen {
+					fnow = f[fidx]
+				}
+			}
+			if hh != 0 {
+				h[hidx] = hh
+				hidx++
+			}
+		}
+	}
+	for eidx < elen {
+		q, hh = twoSum(q, enow)
+		eidx++
+		if eidx < elen {
+			enow = e[eidx]
+		}
+		if hh != 0 {
+			h[hidx] = hh
+			hidx++
+		}
+	}
+	for fidx < flen {
+		q, hh = twoSum(q, fnow)
+		fidx++
+		if fidx < flen {
+			fnow = f[fidx]
+		}
+		if hh != 0 {
+			h[hidx] = hh
+			hidx++
+		}
+	}
+	if q != 0 || hidx == 0 {
+		h[hidx] = q
+		hidx++
+	}
+	return hidx
+}
+
+// scaleExpansion multiplies expansion e by b into h, eliminating zero
+// components (Shewchuk's SCALE-EXPANSION-ZEROELIM with FMA products). h
+// must not alias e and needs room for 2*len(e) components.
+func scaleExpansion(e []float64, b float64, h []float64) int {
+	q, hh := twoProduct(e[0], b)
+	hidx := 0
+	if hh != 0 {
+		h[hidx] = hh
+		hidx++
+	}
+	for i := 1; i < len(e); i++ {
+		t1, t0 := twoProduct(e[i], b)
+		q2, hh := twoSum(q, t0)
+		if hh != 0 {
+			h[hidx] = hh
+			hidx++
+		}
+		q, hh = fastTwoSum(t1, q2)
+		if hh != 0 {
+			h[hidx] = hh
+			hidx++
+		}
+	}
+	if q != 0 || hidx == 0 {
+		h[hidx] = q
+		hidx++
+	}
+	return hidx
+}
+
+// negateExpansion writes -e into out and returns the component count.
+func negateExpansion(e []float64, out []float64) int {
+	for i, v := range e {
+		out[i] = -v
+	}
+	return len(e)
+}
+
+// prodTwoTwo multiplies the 2-expansions (e0,e1) and (f0,f1) — lo, hi
+// order — into out (up to 8 components), returning the count.
+func prodTwoTwo(e0, e1, f0, f1 float64, out *[8]float64) int {
+	e := [2]float64{e0, e1}
+	var t1, t2 [4]float64
+	n1 := scaleExpansion(e[:], f0, t1[:])
+	n2 := scaleExpansion(e[:], f1, t2[:])
+	return fastExpansionSum(t1[:n1], t2[:n2], out[:])
+}

@@ -1,0 +1,19 @@
+package delaunay
+
+// Test-only exports: the cross-check suite (delaunay_test package) compares
+// the expansion-arithmetic exact fallbacks directly against a math/big
+// reference, bypassing the floating-point filter.
+var (
+	Orient2DExact = orient2dExact
+	InCircleExact = inCircleExact
+	Orient3DExact = orient3dExact
+	InSphereExact = inSphereExact
+)
+
+// Filter bounds, exported for the cross-check suite to classify inputs.
+const (
+	Orient2DBound = orient2dBound
+	Orient3DBound = orient3dBound
+	InCircleBound = inCircleBound
+	InSphereBound = inSphereBound
+)

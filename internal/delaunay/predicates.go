@@ -3,23 +3,48 @@
 // Delaunay graph generator (paper §6), standing in for the CGAL backend of
 // the original implementation.
 //
-// Geometric predicates use a floating-point filter: the determinant is
-// evaluated in float64 together with a bound on its rounding error; only
-// when the sign is uncertain is the computation repeated in high-precision
-// arithmetic (math/big.Float), which keeps the triangulation robust
-// without paying the exact-arithmetic cost on the common path.
+// Geometric predicates are adaptive in the style of Shewchuk: the
+// determinant is evaluated in float64 together with a statically derived
+// bound on its rounding error, and only when the sign is uncertain is the
+// computation repeated exactly in error-free float64 expansion arithmetic
+// (expansion.go). Both paths determine the true sign, so which path runs
+// never changes an emitted triangulation, and neither path allocates.
 package delaunay
 
-import "math/big"
+import "math"
 
-// filterEps scales the permanent (the sum of absolute products) into an
-// error bound for the float64 determinant evaluation. 2^-44 is loose
-// enough to cover every rounding path of the small determinants used here.
-const filterEps = 1.0 / (1 << 44)
+// Statically derived stage-A filter constants: |fl(det) - det| <=
+// bound * permanent for the float evaluations below, where the permanent
+// is the same formula with every subtraction of products replaced by an
+// addition of absolute values. The constants are Shewchuk's A-stage
+// bounds (epsilon = 2^-53); the float determinant trees here match his
+// stage-A trees term for term, and the inSphere constant carries extra
+// headroom for the sequential (rather than balanced) final summation.
+const (
+	epsilon       = 1.0 / (1 << 53)
+	orient2dBound = (3 + 16*epsilon) * epsilon
+	orient3dBound = (7 + 56*epsilon) * epsilon
+	inCircleBound = (10 + 96*epsilon) * epsilon
+	inSphereBound = (20 + 256*epsilon) * epsilon
+)
 
-// bigPrec is the mantissa precision for the exact fallback; large enough
-// that all products and sums of float64 inputs keep their sign.
-const bigPrec = 420
+// FilterStats counts fast-path (filter certain) and exact-path (expansion
+// fallback) predicate evaluations per predicate. Collection is test-only:
+// production code leaves the package hook nil and pays one predictable
+// branch per call. Not safe for concurrent collectors.
+type FilterStats struct {
+	Orient2DFast, Orient2DExact uint64
+	InCircleFast, InCircleExact uint64
+	Orient3DFast, Orient3DExact uint64
+	InSphereFast, InSphereExact uint64
+}
+
+// filterStats, when non-nil, receives per-call filter outcome counts.
+var filterStats *FilterStats
+
+// CollectFilterStats installs (or, with nil, removes) the stats sink.
+// Test and microbenchmark use only — single goroutine.
+func CollectFilterStats(s *FilterStats) { filterStats = s }
 
 // Orient2D returns a positive value if (a, b, c) wind counter-clockwise,
 // negative if clockwise, zero if collinear.
@@ -28,23 +53,33 @@ func Orient2D(a, b, c [2]float64) float64 {
 	bdx, bdy := b[0]-c[0], b[1]-c[1]
 	det := adx*bdy - ady*bdx
 	perm := abs(adx*bdy) + abs(ady*bdx)
-	if det > perm*filterEps || -det > perm*filterEps {
+	if det > perm*orient2dBound || -det > perm*orient2dBound {
+		if filterStats != nil {
+			filterStats.Orient2DFast++
+		}
 		return det
 	}
-	return orient2DExact(a, b, c)
+	if filterStats != nil {
+		filterStats.Orient2DExact++
+	}
+	return orient2dExact(a, b, c)
 }
 
-func orient2DExact(a, b, c [2]float64) float64 {
-	bf := func(x float64) *big.Float { return big.NewFloat(x).SetPrec(bigPrec) }
-	adx := new(big.Float).SetPrec(bigPrec).Sub(bf(a[0]), bf(c[0]))
-	ady := new(big.Float).SetPrec(bigPrec).Sub(bf(a[1]), bf(c[1]))
-	bdx := new(big.Float).SetPrec(bigPrec).Sub(bf(b[0]), bf(c[0]))
-	bdy := new(big.Float).SetPrec(bigPrec).Sub(bf(b[1]), bf(c[1]))
-	t1 := new(big.Float).SetPrec(bigPrec).Mul(adx, bdy)
-	t2 := new(big.Float).SetPrec(bigPrec).Mul(ady, bdx)
-	det := t1.Sub(t1, t2)
-	f, _ := det.Float64()
-	return f
+// orient2dExact evaluates (a0-c0)(b1-c1) - (a1-c1)(b0-c0) exactly: the
+// translated coordinates are 2-expansions (twoDiff), so the determinant
+// is a difference of two 8-component products.
+func orient2dExact(a, b, c [2]float64) float64 {
+	adx1, adx0 := twoDiff(a[0], c[0])
+	ady1, ady0 := twoDiff(a[1], c[1])
+	bdx1, bdx0 := twoDiff(b[0], c[0])
+	bdy1, bdy0 := twoDiff(b[1], c[1])
+	var t1, t2, neg [8]float64
+	n1 := prodTwoTwo(adx0, adx1, bdy0, bdy1, &t1)
+	n2 := prodTwoTwo(ady0, ady1, bdx0, bdx1, &t2)
+	negateExpansion(t2[:n2], neg[:])
+	var det [16]float64
+	n := fastExpansionSum(t1[:n1], neg[:n2], det[:])
+	return det[n-1]
 }
 
 // InCircle returns a positive value if d lies inside the circumcircle of
@@ -66,41 +101,81 @@ func InCircle(a, b, c, d [2]float64) float64 {
 	perm := ad2*(abs(bdx*cdy)+abs(bdy*cdx)) +
 		bd2*(abs(adx*cdy)+abs(ady*cdx)) +
 		cd2*(abs(adx*bdy)+abs(ady*bdx))
-	if det > perm*filterEps || -det > perm*filterEps {
+	if det > perm*inCircleBound || -det > perm*inCircleBound {
+		if filterStats != nil {
+			filterStats.InCircleFast++
+		}
 		return det
+	}
+	if filterStats != nil {
+		filterStats.InCircleExact++
 	}
 	return inCircleExact(a, b, c, d)
 }
 
-func inCircleExact(a, b, c, d [2]float64) float64 {
-	rows := make([][3]*big.Float, 3)
-	for i, p := range [][2]float64{a, b, c} {
-		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(d[0]))
-		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(d[1]))
-		sq := new(big.Float).SetPrec(bigPrec).Mul(dx, dx)
-		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dy, dy))
-		rows[i] = [3]*big.Float{dx, dy, sq}
-	}
-	det := det3Big(rows)
-	f, _ := det.Float64()
-	return f
+// pairMinor writes the exact 4-expansion of px*qy - qx*py into out.
+func pairMinor(p, q [2]float64, out *[4]float64) int {
+	t1hi, t1lo := twoProduct(p[0], q[1])
+	t2hi, t2lo := twoProduct(q[0], p[1])
+	a := [2]float64{t1lo, t1hi}
+	b := [2]float64{-t2lo, -t2hi}
+	return fastExpansionSum(a[:], b[:], out[:])
 }
 
-// det3Big computes a 3x3 determinant of big.Float rows.
-func det3Big(r [][3]*big.Float) *big.Float {
-	mul := func(x, y *big.Float) *big.Float {
-		return new(big.Float).SetPrec(bigPrec).Mul(x, y)
+// liftScale2 computes (px^2+py^2) * N exactly as px*(px*N) + py*(py*N),
+// scaling by one float64 at a time. len(N) <= 12, out holds 96.
+func liftScale2(p [2]float64, n []float64, out *[96]float64) int {
+	var t24 [24]float64
+	var tx, ty [48]float64
+	k := scaleExpansion(n, p[0], t24[:])
+	nx := scaleExpansion(t24[:k], p[0], tx[:])
+	k = scaleExpansion(n, p[1], t24[:])
+	ny := scaleExpansion(t24[:k], p[1], ty[:])
+	return fastExpansionSum(tx[:nx], ty[:ny], out[:])
+}
+
+// inCircleExact evaluates the 4x4 determinant with rows
+// (px, py, px^2+py^2, 1) over a, b, c, d exactly. Row-reducing by d and
+// a column operation shows it equals the translated 3x3 determinant of
+// the float path, so the signs agree on every input.
+func inCircleExact(a, b, c, d [2]float64) float64 {
+	var mab, mac, mad, mbc, mbd, mcd [4]float64
+	nab := pairMinor(a, b, &mab)
+	nac := pairMinor(a, c, &mac)
+	nad := pairMinor(a, d, &mad)
+	nbc := pairMinor(b, c, &mbc)
+	nbd := pairMinor(b, d, &mbd)
+	ncd := pairMinor(c, d, &mcd)
+
+	// N_pqr = m_qr - m_pr + m_pq: the 3x3 minor over columns (x, y, 1).
+	var neg [4]float64
+	var t8 [8]float64
+	triple := func(mqr []float64, mpr []float64, mpq []float64, out *[12]float64) int {
+		nn := negateExpansion(mpr, neg[:])
+		k := fastExpansionSum(mqr, neg[:nn], t8[:])
+		return fastExpansionSum(t8[:k], mpq, out[:])
 	}
-	sub := func(x, y *big.Float) *big.Float {
-		return new(big.Float).SetPrec(bigPrec).Sub(x, y)
-	}
-	m1 := sub(mul(r[1][1], r[2][2]), mul(r[1][2], r[2][1]))
-	m2 := sub(mul(r[1][0], r[2][2]), mul(r[1][2], r[2][0]))
-	m3 := sub(mul(r[1][0], r[2][1]), mul(r[1][1], r[2][0]))
-	det := mul(r[0][0], m1)
-	det.Sub(det, mul(r[0][1], m2))
-	det.Add(det, mul(r[0][2], m3))
-	return det
+	var nbcd, nacd, nabd, nabc [12]float64
+	kbcd := triple(mcd[:ncd], mbd[:nbd], mbc[:nbc], &nbcd)
+	kacd := triple(mcd[:ncd], mad[:nad], mac[:nac], &nacd)
+	kabd := triple(mbd[:nbd], mad[:nad], mab[:nab], &nabd)
+	kabc := triple(mbc[:nbc], mac[:nac], mab[:nab], &nabc)
+
+	// det = +la*N_bcd - lb*N_acd + lc*N_abd - ld*N_abc.
+	var ta, tb, tc, td [96]float64
+	na := liftScale2(a, nbcd[:kbcd], &ta)
+	nb := liftScale2(b, nacd[:kacd], &tb)
+	nc := liftScale2(c, nabd[:kabd], &tc)
+	nd := liftScale2(d, nabc[:kabc], &td)
+	var negb, negd [96]float64
+	negateExpansion(tb[:nb], negb[:])
+	negateExpansion(td[:nd], negd[:])
+	var s1, s2 [192]float64
+	k1 := fastExpansionSum(ta[:na], negb[:nb], s1[:])
+	k2 := fastExpansionSum(tc[:nc], negd[:nd], s2[:])
+	var det [384]float64
+	n := fastExpansionSum(s1[:k1], s2[:k2], det[:])
+	return det[n-1]
 }
 
 // Orient3D returns a positive value if d lies on the positive side of the
@@ -117,22 +192,55 @@ func Orient3D(a, b, c, d [3]float64) float64 {
 	perm := abs(bax)*(abs(cay*daz)+abs(caz*day)) +
 		abs(bay)*(abs(cax*daz)+abs(caz*dax)) +
 		abs(baz)*(abs(cax*day)+abs(cay*dax))
-	if det > perm*filterEps || -det > perm*filterEps {
+	if det > perm*orient3dBound || -det > perm*orient3dBound {
+		if filterStats != nil {
+			filterStats.Orient3DFast++
+		}
 		return det
 	}
-	return orient3DExact(a, b, c, d)
+	if filterStats != nil {
+		filterStats.Orient3DExact++
+	}
+	return orient3dExact(a, b, c, d)
 }
 
-func orient3DExact(a, b, c, d [3]float64) float64 {
-	rows := make([][3]*big.Float, 3)
-	for i, p := range [][3]float64{b, c, d} {
-		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(a[0]))
-		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(a[1]))
-		dz := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[2]), big.NewFloat(a[2]))
-		rows[i] = [3]*big.Float{dx, dy, dz}
+// orient3dExact evaluates the translated 3x3 determinant exactly: the
+// differences are 2-expansions, each 2x2 cofactor a 16-component
+// expansion, and each row term at most 64 components.
+func orient3dExact(a, b, c, d [3]float64) float64 {
+	var ba, ca, da [3][2]float64 // [axis]{lo, hi}
+	for i := 0; i < 3; i++ {
+		ba[i][1], ba[i][0] = twoDiff(b[i], a[i])
+		ca[i][1], ca[i][0] = twoDiff(c[i], a[i])
+		da[i][1], da[i][0] = twoDiff(d[i], a[i])
 	}
-	f, _ := det3Big(rows).Float64()
-	return f
+	// cross_x = cay*daz - caz*day, and cyclic; term_i = row_i * cross_i.
+	var term [3][64]float64
+	var tn [3]int
+	cross := func(u, v int, out *[16]float64) int {
+		// ca[u]*da[v] - ca[v]*da[u]
+		var p1, p2, neg [8]float64
+		n1 := prodTwoTwo(ca[u][0], ca[u][1], da[v][0], da[v][1], &p1)
+		n2 := prodTwoTwo(ca[v][0], ca[v][1], da[u][0], da[u][1], &p2)
+		negateExpansion(p2[:n2], neg[:])
+		return fastExpansionSum(p1[:n1], neg[:n2], out[:])
+	}
+	var cr [16]float64
+	var t32a, t32b [32]float64
+	for i := 0; i < 3; i++ {
+		u, v := (i+1)%3, (i+2)%3
+		k := cross(u, v, &cr)
+		n1 := scaleExpansion(cr[:k], ba[i][0], t32a[:])
+		n2 := scaleExpansion(cr[:k], ba[i][1], t32b[:])
+		tn[i] = fastExpansionSum(t32a[:n1], t32b[:n2], term[i][:])
+	}
+	// det = term0 + term1 + term2: cross(2,0) = caz*dax - cax*daz is
+	// already the negated cofactor of bay, so every term adds.
+	var s [128]float64
+	k := fastExpansionSum(term[0][:tn[0]], term[1][:tn[1]], s[:])
+	var det [192]float64
+	n := fastExpansionSum(s[:k], term[2][:tn[2]], det[:])
+	return det[n-1]
 }
 
 // InSphere returns a positive value if e lies inside the circumsphere of
@@ -167,45 +275,116 @@ func InSphere(a, b, c, d, e [3]float64) float64 {
 		sq[2]*minor(0, 1, 3) - sq[3]*minor(0, 1, 2)
 	perm = sq[0]*minorAbs(1, 2, 3) + sq[1]*minorAbs(0, 2, 3) +
 		sq[2]*minorAbs(0, 1, 3) + sq[3]*minorAbs(0, 1, 2)
-	if det > perm*filterEps || -det > perm*filterEps {
+	if det > perm*inSphereBound || -det > perm*inSphereBound {
+		if filterStats != nil {
+			filterStats.InSphereFast++
+		}
 		return det
+	}
+	if filterStats != nil {
+		filterStats.InSphereExact++
 	}
 	return inSphereExact(a, b, c, d, e)
 }
 
-func inSphereExact(a, b, c, d, e [3]float64) float64 {
-	type row struct{ x, y, z, s *big.Float }
-	rows := make([]row, 4)
-	for i, p := range [][3]float64{a, b, c, d} {
-		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(e[0]))
-		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(e[1]))
-		dz := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[2]), big.NewFloat(e[2]))
-		sq := new(big.Float).SetPrec(bigPrec).Mul(dx, dx)
-		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dy, dy))
-		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dz, dz))
-		rows[i] = row{dx, dy, dz, sq}
-	}
-	minor := func(i, j, k int) *big.Float {
-		return det3Big([][3]*big.Float{
-			{rows[i].x, rows[i].y, rows[i].z},
-			{rows[j].x, rows[j].y, rows[j].z},
-			{rows[k].x, rows[k].y, rows[k].z},
-		})
-	}
-	mul := func(x, y *big.Float) *big.Float {
-		return new(big.Float).SetPrec(bigPrec).Mul(x, y)
-	}
-	det := mul(rows[0].s, minor(1, 2, 3))
-	det.Sub(det, mul(rows[1].s, minor(0, 2, 3)))
-	det.Add(det, mul(rows[2].s, minor(0, 1, 3)))
-	det.Sub(det, mul(rows[3].s, minor(0, 1, 2)))
-	f, _ := det.Float64()
-	return f
+// liftScale3 computes (px^2+py^2+pz^2) * N exactly as
+// px*(px*N) + py*(py*N) + pz*(pz*N). len(N) <= 96, out holds 1152.
+func liftScale3(p [3]float64, n []float64, out *[1152]float64) int {
+	var t192 [192]float64
+	var tx, ty, tz [384]float64
+	k := scaleExpansion(n, p[0], t192[:])
+	nx := scaleExpansion(t192[:k], p[0], tx[:])
+	k = scaleExpansion(n, p[1], t192[:])
+	ny := scaleExpansion(t192[:k], p[1], ty[:])
+	k = scaleExpansion(n, p[2], t192[:])
+	nz := scaleExpansion(t192[:k], p[2], tz[:])
+	var t768 [768]float64
+	nxy := fastExpansionSum(tx[:nx], ty[:ny], t768[:])
+	return fastExpansionSum(t768[:nxy], tz[:nz], out[:])
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
+// inSphereExact evaluates the 5x5 determinant with rows
+// (px, py, pz, px^2+py^2+pz^2, 1) over a..e exactly (cofactor expansion
+// along the lifted column, as in Shewchuk's insphereexact). Row-reducing
+// by e and a column operation shows it equals the negated translated 4x4
+// determinant of the float path, so the combination below carries the
+// flipped signs and agrees with the float path on every input.
+func inSphereExact(a, b, c, d, e [3]float64) float64 {
+	p2 := func(p [3]float64) [2]float64 { return [2]float64{p[0], p[1]} }
+	// Pairwise xy minors m_pq = px*qy - qx*py, 4-expansions.
+	var mab, mac, mad, mae, mbc, mbd, mbe, mcd, mce, mde [4]float64
+	nab := pairMinor(p2(a), p2(b), &mab)
+	nac := pairMinor(p2(a), p2(c), &mac)
+	nad := pairMinor(p2(a), p2(d), &mad)
+	nae := pairMinor(p2(a), p2(e), &mae)
+	nbc := pairMinor(p2(b), p2(c), &mbc)
+	nbd := pairMinor(p2(b), p2(d), &mbd)
+	nbe := pairMinor(p2(b), p2(e), &mbe)
+	ncd := pairMinor(p2(c), p2(d), &mcd)
+	nce := pairMinor(p2(c), p2(e), &mce)
+	nde := pairMinor(p2(d), p2(e), &mde)
+
+	// 3x3 minors over (x, y, z): M_pqr = pz*m_qr - qz*m_pr + rz*m_pq.
+	var t8a, t8b, t8c [8]float64
+	var t16 [16]float64
+	zTriple := func(pz, qz, rz float64, mqr, mpr, mpq []float64, out *[24]float64) int {
+		n1 := scaleExpansion(mqr, pz, t8a[:])
+		n2 := scaleExpansion(mpr, -qz, t8b[:])
+		n3 := scaleExpansion(mpq, rz, t8c[:])
+		k := fastExpansionSum(t8a[:n1], t8b[:n2], t16[:])
+		return fastExpansionSum(t16[:k], t8c[:n3], out[:])
 	}
-	return x
+	var mabc, mabd, mabe, macd, mace, made, mbcd, mbce, mbde, mcde [24]float64
+	kabc := zTriple(a[2], b[2], c[2], mbc[:nbc], mac[:nac], mab[:nab], &mabc)
+	kabd := zTriple(a[2], b[2], d[2], mbd[:nbd], mad[:nad], mab[:nab], &mabd)
+	kabe := zTriple(a[2], b[2], e[2], mbe[:nbe], mae[:nae], mab[:nab], &mabe)
+	kacd := zTriple(a[2], c[2], d[2], mcd[:ncd], mad[:nad], mac[:nac], &macd)
+	kace := zTriple(a[2], c[2], e[2], mce[:nce], mae[:nae], mac[:nac], &mace)
+	kade := zTriple(a[2], d[2], e[2], mde[:nde], mae[:nae], mad[:nad], &made)
+	kbcd := zTriple(b[2], c[2], d[2], mcd[:ncd], mbd[:nbd], mbc[:nbc], &mbcd)
+	kbce := zTriple(b[2], c[2], e[2], mce[:nce], mbe[:nbe], mbc[:nbc], &mbce)
+	kbde := zTriple(b[2], d[2], e[2], mde[:nde], mbe[:nbe], mbd[:nbd], &mbde)
+	kcde := zTriple(c[2], d[2], e[2], mde[:nde], mce[:nce], mcd[:ncd], &mcde)
+
+	// 4x4 minors over (x, y, z, 1):
+	// N_pqrs = -M_qrs + M_prs - M_pqs + M_pqr.
+	var neg24a, neg24b [24]float64
+	var t48a, t48b [48]float64
+	quad := func(mqrs, mprs, mpqs, mpqr []float64, out *[96]float64) int {
+		n1 := negateExpansion(mqrs, neg24a[:])
+		n2 := negateExpansion(mpqs, neg24b[:])
+		ka := fastExpansionSum(neg24a[:n1], mprs, t48a[:])
+		kb := fastExpansionSum(neg24b[:n2], mpqr, t48b[:])
+		return fastExpansionSum(t48a[:ka], t48b[:kb], out[:])
+	}
+	var nbcde, nacde, nabde, nabce, nabcd [96]float64
+	kbcde := quad(mcde[:kcde], mbde[:kbde], mbce[:kbce], mbcd[:kbcd], &nbcde)
+	kacde := quad(mcde[:kcde], made[:kade], mace[:kace], macd[:kacd], &nacde)
+	kabde := quad(mbde[:kbde], made[:kade], mabe[:kabe], mabd[:kabd], &nabde)
+	kabce := quad(mbce[:kbce], mace[:kace], mabe[:kabe], mabc[:kabc], &nabce)
+	kabcd := quad(mbcd[:kbcd], macd[:kacd], mabd[:kabd], mabc[:kabc], &nabcd)
+
+	// Lifted terms with the positive-inside sign convention:
+	// det = +la*N_bcde - lb*N_acde + lc*N_abde - ld*N_abce + le*N_abcd.
+	var ta, tb, tc, td, te [1152]float64
+	na := liftScale3(a, nbcde[:kbcde], &ta)
+	nb := liftScale3(b, nacde[:kacde], &tb)
+	nc := liftScale3(c, nabde[:kabde], &tc)
+	nd := liftScale3(d, nabce[:kabce], &td)
+	ne := liftScale3(e, nabcd[:kabcd], &te)
+	var negb, negd [1152]float64
+	negateExpansion(tb[:nb], negb[:])
+	negateExpansion(td[:nd], negd[:])
+	var s1, s2 [2304]float64
+	k1 := fastExpansionSum(ta[:na], negb[:nb], s1[:])
+	k2 := fastExpansionSum(tc[:nc], negd[:nd], s2[:])
+	var s12 [4608]float64
+	k12 := fastExpansionSum(s1[:k1], s2[:k2], s12[:])
+	var det [5760]float64
+	n := fastExpansionSum(s12[:k12], te[:ne], det[:])
+	return det[n-1]
 }
+
+// abs is math.Abs (a compiler intrinsic — branch-free), aliased for the
+// permanent computations where it dominates the filter's cost.
+func abs(x float64) float64 { return math.Abs(x) }

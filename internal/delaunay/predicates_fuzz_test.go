@@ -1,0 +1,96 @@
+package delaunay_test
+
+// Fuzz targets for the adaptive predicates: any finite input whose
+// coordinates lie within the documented exactness domain must produce the
+// same sign as the big.Rat reference, which is exact for every float64.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delaunay"
+)
+
+// fuzzable rejects inputs outside the exactness contract of the expansion
+// arithmetic (see expansion.go): non-finite values, and magnitudes far
+// outside the generator domain where products could overflow or roundoff
+// terms could fall into the subnormal range.
+func fuzzable(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		if a := math.Abs(v); a != 0 && (a < 1e-20 || a > 1e20) {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzOrient2D(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0, 2.0, 0.0)
+	f.Add(0.5, 0.5, 0.5, 0.5, 0.25, 0.75)
+	f.Add(1e4, -1e4, -3e4, 9e4, 0.1, 0.2)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy float64) {
+		if !fuzzable(ax, ay, bx, by, cx, cy) {
+			t.Skip()
+		}
+		a, b, c := [2]float64{ax, ay}, [2]float64{bx, by}, [2]float64{cx, cy}
+		want := ratOrient2D(a, b, c)
+		if got := sign(delaunay.Orient2D(a, b, c)); got != want {
+			t.Fatalf("Orient2D(%v,%v,%v) sign=%d want %d", a, b, c, got, want)
+		}
+	})
+}
+
+func FuzzInCircle(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0)
+	f.Add(0.25, 0.5, 0.5, 0.25, 0.75, 0.5, 0.5, 0.75)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		if !fuzzable(ax, ay, bx, by, cx, cy, dx, dy) {
+			t.Skip()
+		}
+		a, b, c, d := [2]float64{ax, ay}, [2]float64{bx, by}, [2]float64{cx, cy}, [2]float64{dx, dy}
+		want := ratInCircle(a, b, c, d)
+		if got := sign(delaunay.InCircle(a, b, c, d)); got != want {
+			t.Fatalf("InCircle(%v,%v,%v,%v) sign=%d want %d", a, b, c, d, got, want)
+		}
+	})
+}
+
+func FuzzOrient3D(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0)
+	f.Add(0.1, 0.2, 0.3, 1.1, 0.2, 0.3, 0.1, 1.2, 0.3, 1.1, 1.2, 0.3)
+	f.Fuzz(func(t *testing.T, ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) {
+		if !fuzzable(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz) {
+			t.Skip()
+		}
+		a := [3]float64{ax, ay, az}
+		b := [3]float64{bx, by, bz}
+		c := [3]float64{cx, cy, cz}
+		d := [3]float64{dx, dy, dz}
+		want := ratOrient3D(a, b, c, d)
+		if got := sign(delaunay.Orient3D(a, b, c, d)); got != want {
+			t.Fatalf("Orient3D(%v,%v,%v,%v) sign=%d want %d", a, b, c, d, got, want)
+		}
+	})
+}
+
+func FuzzInSphere(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.25, 0.25, 0.25)
+	f.Fuzz(func(t *testing.T, ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz, ex, ey, ez float64) {
+		if !fuzzable(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz, ex, ey, ez) {
+			t.Skip()
+		}
+		a := [3]float64{ax, ay, az}
+		b := [3]float64{bx, by, bz}
+		c := [3]float64{cx, cy, cz}
+		d := [3]float64{dx, dy, dz}
+		e := [3]float64{ex, ey, ez}
+		want := ratInSphere(a, b, c, d, e)
+		if got := sign(delaunay.InSphere(a, b, c, d, e)); got != want {
+			t.Fatalf("InSphere(%v,%v,%v,%v,%v) sign=%d want %d", a, b, c, d, e, got, want)
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package delaunay_test
+
+// Cross-check suite for the expansion-arithmetic exact predicates: every
+// sign they produce must match (a) the old math/big.Float fallback
+// implementation (420-bit, replicated verbatim below) that the adaptive
+// predicates replaced, and (b) a big.Rat reference that is exact for all
+// float64 inputs. Inputs cover the generator coordinate domain, uniform
+// random configurations, and adversarial degeneracies: collinear,
+// coplanar, and cospherical point sets perturbed by a few ulps, plus the
+// torus-wrapped parallelogram configurations that made the old filter
+// punt on exactly coplanar quadruples.
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/delaunay"
+)
+
+const bigPrec = 420
+
+// --- old big.Float reference (verbatim semantics of the replaced code) ---
+
+func bigOrient2D(a, b, c [2]float64) float64 {
+	bf := func(x float64) *big.Float { return big.NewFloat(x).SetPrec(bigPrec) }
+	adx := new(big.Float).SetPrec(bigPrec).Sub(bf(a[0]), bf(c[0]))
+	ady := new(big.Float).SetPrec(bigPrec).Sub(bf(a[1]), bf(c[1]))
+	bdx := new(big.Float).SetPrec(bigPrec).Sub(bf(b[0]), bf(c[0]))
+	bdy := new(big.Float).SetPrec(bigPrec).Sub(bf(b[1]), bf(c[1]))
+	t1 := new(big.Float).SetPrec(bigPrec).Mul(adx, bdy)
+	t2 := new(big.Float).SetPrec(bigPrec).Mul(ady, bdx)
+	det := t1.Sub(t1, t2)
+	f, _ := det.Float64()
+	return f
+}
+
+func det3Big(r [][3]*big.Float) *big.Float {
+	mul := func(x, y *big.Float) *big.Float {
+		return new(big.Float).SetPrec(bigPrec).Mul(x, y)
+	}
+	sub := func(x, y *big.Float) *big.Float {
+		return new(big.Float).SetPrec(bigPrec).Sub(x, y)
+	}
+	m1 := sub(mul(r[1][1], r[2][2]), mul(r[1][2], r[2][1]))
+	m2 := sub(mul(r[1][0], r[2][2]), mul(r[1][2], r[2][0]))
+	m3 := sub(mul(r[1][0], r[2][1]), mul(r[1][1], r[2][0]))
+	det := mul(r[0][0], m1)
+	det.Sub(det, mul(r[0][1], m2))
+	det.Add(det, mul(r[0][2], m3))
+	return det
+}
+
+func bigInCircle(a, b, c, d [2]float64) float64 {
+	rows := make([][3]*big.Float, 3)
+	for i, p := range [][2]float64{a, b, c} {
+		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(d[0]))
+		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(d[1]))
+		sq := new(big.Float).SetPrec(bigPrec).Mul(dx, dx)
+		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dy, dy))
+		rows[i] = [3]*big.Float{dx, dy, sq}
+	}
+	f, _ := det3Big(rows).Float64()
+	return f
+}
+
+func bigOrient3D(a, b, c, d [3]float64) float64 {
+	rows := make([][3]*big.Float, 3)
+	for i, p := range [][3]float64{b, c, d} {
+		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(a[0]))
+		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(a[1]))
+		dz := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[2]), big.NewFloat(a[2]))
+		rows[i] = [3]*big.Float{dx, dy, dz}
+	}
+	f, _ := det3Big(rows).Float64()
+	return f
+}
+
+func bigInSphere(a, b, c, d, e [3]float64) float64 {
+	type row struct{ x, y, z, s *big.Float }
+	rows := make([]row, 4)
+	for i, p := range [][3]float64{a, b, c, d} {
+		dx := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[0]), big.NewFloat(e[0]))
+		dy := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[1]), big.NewFloat(e[1]))
+		dz := new(big.Float).SetPrec(bigPrec).Sub(big.NewFloat(p[2]), big.NewFloat(e[2]))
+		sq := new(big.Float).SetPrec(bigPrec).Mul(dx, dx)
+		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dy, dy))
+		sq.Add(sq, new(big.Float).SetPrec(bigPrec).Mul(dz, dz))
+		rows[i] = row{dx, dy, dz, sq}
+	}
+	minor := func(i, j, k int) *big.Float {
+		return det3Big([][3]*big.Float{
+			{rows[i].x, rows[i].y, rows[i].z},
+			{rows[j].x, rows[j].y, rows[j].z},
+			{rows[k].x, rows[k].y, rows[k].z},
+		})
+	}
+	mul := func(x, y *big.Float) *big.Float {
+		return new(big.Float).SetPrec(bigPrec).Mul(x, y)
+	}
+	det := mul(rows[0].s, minor(1, 2, 3))
+	det.Sub(det, mul(rows[1].s, minor(0, 2, 3)))
+	det.Add(det, mul(rows[2].s, minor(0, 1, 3)))
+	det.Sub(det, mul(rows[3].s, minor(0, 1, 2)))
+	f, _ := det.Float64()
+	return f
+}
+
+// --- big.Rat reference: exact for every finite float64 input ---
+
+func ratOrient2D(a, b, c [2]float64) int {
+	r := func(x float64) *big.Rat { return new(big.Rat).SetFloat64(x) }
+	adx := new(big.Rat).Sub(r(a[0]), r(c[0]))
+	ady := new(big.Rat).Sub(r(a[1]), r(c[1]))
+	bdx := new(big.Rat).Sub(r(b[0]), r(c[0]))
+	bdy := new(big.Rat).Sub(r(b[1]), r(c[1]))
+	det := new(big.Rat).Sub(new(big.Rat).Mul(adx, bdy), new(big.Rat).Mul(ady, bdx))
+	return det.Sign()
+}
+
+func det3Rat(r [3][3]*big.Rat) *big.Rat {
+	mul := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Mul(x, y) }
+	sub := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Sub(x, y) }
+	m1 := sub(mul(r[1][1], r[2][2]), mul(r[1][2], r[2][1]))
+	m2 := sub(mul(r[1][0], r[2][2]), mul(r[1][2], r[2][0]))
+	m3 := sub(mul(r[1][0], r[2][1]), mul(r[1][1], r[2][0]))
+	det := mul(r[0][0], m1)
+	det.Sub(det, mul(r[0][1], m2))
+	det.Add(det, mul(r[0][2], m3))
+	return det
+}
+
+func ratOrient3D(a, b, c, d [3]float64) int {
+	var rows [3][3]*big.Rat
+	for i, p := range [][3]float64{b, c, d} {
+		for j := 0; j < 3; j++ {
+			rows[i][j] = new(big.Rat).Sub(new(big.Rat).SetFloat64(p[j]), new(big.Rat).SetFloat64(a[j]))
+		}
+	}
+	return det3Rat(rows).Sign()
+}
+
+func ratInCircle(a, b, c, d [2]float64) int {
+	var rows [3][3]*big.Rat
+	for i, p := range [][2]float64{a, b, c} {
+		dx := new(big.Rat).Sub(new(big.Rat).SetFloat64(p[0]), new(big.Rat).SetFloat64(d[0]))
+		dy := new(big.Rat).Sub(new(big.Rat).SetFloat64(p[1]), new(big.Rat).SetFloat64(d[1]))
+		sq := new(big.Rat).Add(new(big.Rat).Mul(dx, dx), new(big.Rat).Mul(dy, dy))
+		rows[i] = [3]*big.Rat{dx, dy, sq}
+	}
+	return det3Rat(rows).Sign()
+}
+
+func ratInSphere(a, b, c, d, e [3]float64) int {
+	type row struct{ x, y, z, s *big.Rat }
+	var rows [4]row
+	for i, p := range [][3]float64{a, b, c, d} {
+		dx := new(big.Rat).Sub(new(big.Rat).SetFloat64(p[0]), new(big.Rat).SetFloat64(e[0]))
+		dy := new(big.Rat).Sub(new(big.Rat).SetFloat64(p[1]), new(big.Rat).SetFloat64(e[1]))
+		dz := new(big.Rat).Sub(new(big.Rat).SetFloat64(p[2]), new(big.Rat).SetFloat64(e[2]))
+		sq := new(big.Rat).Mul(dx, dx)
+		sq.Add(sq, new(big.Rat).Mul(dy, dy))
+		sq.Add(sq, new(big.Rat).Mul(dz, dz))
+		rows[i] = row{dx, dy, dz, sq}
+	}
+	minor := func(i, j, k int) *big.Rat {
+		return det3Rat([3][3]*big.Rat{
+			{rows[i].x, rows[i].y, rows[i].z},
+			{rows[j].x, rows[j].y, rows[j].z},
+			{rows[k].x, rows[k].y, rows[k].z},
+		})
+	}
+	det := new(big.Rat).Mul(rows[0].s, minor(1, 2, 3))
+	det.Sub(det, new(big.Rat).Mul(rows[1].s, minor(0, 2, 3)))
+	det.Add(det, new(big.Rat).Mul(rows[2].s, minor(0, 1, 3)))
+	det.Sub(det, new(big.Rat).Mul(rows[3].s, minor(0, 1, 2)))
+	return det.Sign()
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// ulps nudges x by n ulps (n may be negative).
+func ulps(x float64, n int) float64 {
+	for ; n > 0; n-- {
+		x = math.Nextafter(x, math.Inf(1))
+	}
+	for ; n < 0; n++ {
+		x = math.Nextafter(x, math.Inf(-1))
+	}
+	return x
+}
+
+func check2(t *testing.T, tag string, a, b, c [2]float64) {
+	t.Helper()
+	want := ratOrient2D(a, b, c)
+	if got := sign(delaunay.Orient2DExact(a, b, c)); got != want {
+		t.Fatalf("%s: Orient2DExact(%v,%v,%v) sign=%d want %d", tag, a, b, c, got, want)
+	}
+	if got := sign(delaunay.Orient2D(a, b, c)); got != want {
+		t.Fatalf("%s: Orient2D(%v,%v,%v) sign=%d want %d", tag, a, b, c, got, want)
+	}
+	if old := sign(bigOrient2D(a, b, c)); old != want {
+		t.Fatalf("%s: big.Float reference disagrees with big.Rat: %d vs %d", tag, old, want)
+	}
+}
+
+func checkCirc(t *testing.T, tag string, a, b, c, d [2]float64) {
+	t.Helper()
+	want := ratInCircle(a, b, c, d)
+	if got := sign(delaunay.InCircleExact(a, b, c, d)); got != want {
+		t.Fatalf("%s: InCircleExact(%v,%v,%v,%v) sign=%d want %d", tag, a, b, c, d, got, want)
+	}
+	if got := sign(delaunay.InCircle(a, b, c, d)); got != want {
+		t.Fatalf("%s: InCircle(%v,%v,%v,%v) sign=%d want %d", tag, a, b, c, d, got, want)
+	}
+	if old := sign(bigInCircle(a, b, c, d)); old != want {
+		t.Fatalf("%s: big.Float reference disagrees with big.Rat: %d vs %d", tag, old, want)
+	}
+}
+
+func check3(t *testing.T, tag string, a, b, c, d [3]float64) {
+	t.Helper()
+	want := ratOrient3D(a, b, c, d)
+	if got := sign(delaunay.Orient3DExact(a, b, c, d)); got != want {
+		t.Fatalf("%s: Orient3DExact(%v,%v,%v,%v) sign=%d want %d", tag, a, b, c, d, got, want)
+	}
+	if got := sign(delaunay.Orient3D(a, b, c, d)); got != want {
+		t.Fatalf("%s: Orient3D(%v,%v,%v,%v) sign=%d want %d", tag, a, b, c, d, got, want)
+	}
+	if old := sign(bigOrient3D(a, b, c, d)); old != want {
+		t.Fatalf("%s: big.Float reference disagrees with big.Rat: %d vs %d", tag, old, want)
+	}
+}
+
+func checkSph(t *testing.T, tag string, a, b, c, d, e [3]float64) {
+	t.Helper()
+	// The references replicate the predicate's own sign-flipped
+	// (positive = inside) determinant, so signs compare directly.
+	want := ratInSphere(a, b, c, d, e)
+	if got := sign(delaunay.InSphereExact(a, b, c, d, e)); got != want {
+		t.Fatalf("%s: InSphereExact(%v,%v,%v,%v,%v) sign=%d want %d", tag, a, b, c, d, e, got, want)
+	}
+	if got := sign(delaunay.InSphere(a, b, c, d, e)); got != want {
+		t.Fatalf("%s: InSphere(%v,%v,%v,%v,%v) sign=%d want %d", tag, a, b, c, d, e, got, want)
+	}
+	if old := sign(bigInSphere(a, b, c, d, e)); old != want {
+		t.Fatalf("%s: big.Float reference disagrees with big.Rat: %d vs %d", tag, old, want)
+	}
+}
+
+func TestXCheckOrient2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x2d01))
+	pt := func(scale float64) [2]float64 {
+		return [2]float64{(rng.Float64() - 0.5) * scale, (rng.Float64() - 0.5) * scale}
+	}
+	for i := 0; i < 2000; i++ {
+		check2(t, "random", pt(2), pt(2), pt(2))
+		// Collinear triple (b = a + t*(c-a) in exact arithmetic only when t
+		// has few bits), perturbed by ulps.
+		a, c := pt(1.8e5), pt(1.8e5)
+		b := [2]float64{(a[0] + c[0]) / 2, (a[1] + c[1]) / 2}
+		b[rng.Intn(2)] = ulps(b[rng.Intn(2)], rng.Intn(5)-2)
+		check2(t, "collinear", a, b, c)
+		// Duplicate and axis-aligned cases.
+		check2(t, "dup", a, a, c)
+		check2(t, "axis", [2]float64{a[0], 0}, [2]float64{c[0], 0}, [2]float64{b[0], ulps(0, rng.Intn(3)-1)})
+	}
+}
+
+func TestXCheckInCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x2d02))
+	for i := 0; i < 1500; i++ {
+		// Four points near a common circle: radius r around center o,
+		// perturbed by a few ulps.
+		ox, oy := (rng.Float64()-0.5)*2e4, (rng.Float64()-0.5)*2e4
+		r := rng.Float64()*100 + 1
+		var p [4][2]float64
+		for j := range p {
+			th := rng.Float64() * 2 * math.Pi
+			p[j] = [2]float64{
+				ulps(ox+r*math.Cos(th), rng.Intn(5)-2),
+				ulps(oy+r*math.Sin(th), rng.Intn(5)-2),
+			}
+		}
+		checkCirc(t, "cocircular", p[0], p[1], p[2], p[3])
+		// Unit-lattice points are exactly cocircular in many configurations.
+		q := [4][2]float64{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+		off := [2]float64{math.Trunc((rng.Float64() - 0.5) * 2e4), math.Trunc((rng.Float64() - 0.5) * 2e4)}
+		for j := range q {
+			q[j][0] += off[0]
+			q[j][1] += off[1]
+		}
+		checkCirc(t, "lattice", q[0], q[1], q[2], q[3])
+	}
+}
+
+func TestXCheckOrient3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x2d03))
+	pt := func(scale float64) [3]float64 {
+		return [3]float64{(rng.Float64() - 0.5) * scale, (rng.Float64() - 0.5) * scale, (rng.Float64() - 0.5) * scale}
+	}
+	for i := 0; i < 2000; i++ {
+		check3(t, "random", pt(2), pt(2), pt(2), pt(2))
+		// Torus-wrapped parallelogram: p, p+off, q, q+off are exactly
+		// coplanar — the configuration that made the old filter punt.
+		p, q := pt(1), pt(1)
+		off := [3]float64{float64(rng.Intn(3) - 1), float64(rng.Intn(3) - 1), float64(rng.Intn(3) - 1)}
+		p2 := [3]float64{p[0] + off[0], p[1] + off[1], p[2] + off[2]}
+		q2 := [3]float64{q[0] + off[0], q[1] + off[1], q[2] + off[2]}
+		check3(t, "parallelogram", p, p2, q, q2)
+		// Coplanar quadruple perturbed by ulps.
+		a, b, c := pt(1.8e5), pt(1.8e5), pt(1.8e5)
+		d := [3]float64{
+			ulps((a[0]+b[0]+c[0])/4, rng.Intn(5)-2),
+			ulps((a[1]+b[1]+c[1])/4, rng.Intn(5)-2),
+			ulps((a[2]+b[2]+c[2])/4, rng.Intn(5)-2),
+		}
+		check3(t, "near-coplanar", a, b, c, d)
+		check3(t, "dup", a, b, a, c)
+	}
+}
+
+func TestXCheckInSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x2d04))
+	for i := 0; i < 600; i++ {
+		// Five points near a common sphere, perturbed by ulps.
+		o := [3]float64{(rng.Float64() - 0.5) * 2e4, (rng.Float64() - 0.5) * 2e4, (rng.Float64() - 0.5) * 2e4}
+		r := rng.Float64()*100 + 1
+		var p [5][3]float64
+		for j := range p {
+			th, ph := rng.Float64()*2*math.Pi, math.Acos(2*rng.Float64()-1)
+			p[j] = [3]float64{
+				ulps(o[0]+r*math.Sin(ph)*math.Cos(th), rng.Intn(5)-2),
+				ulps(o[1]+r*math.Sin(ph)*math.Sin(th), rng.Intn(5)-2),
+				ulps(o[2]+r*math.Cos(ph), rng.Intn(5)-2),
+			}
+		}
+		// Orient the base tetrahedron positively, as Insert's callers do.
+		if delaunay.Orient3D(p[0], p[1], p[2], p[3]) < 0 {
+			p[0], p[1] = p[1], p[0]
+		}
+		checkSph(t, "cospherical", p[0], p[1], p[2], p[3], p[4])
+		// Unit-lattice cube corners are exactly cospherical.
+		q := [5][3]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}}
+		off := [3]float64{
+			math.Trunc((rng.Float64() - 0.5) * 2e4),
+			math.Trunc((rng.Float64() - 0.5) * 2e4),
+			math.Trunc((rng.Float64() - 0.5) * 2e4),
+		}
+		for j := range q {
+			for k := 0; k < 3; k++ {
+				q[j][k] += off[k]
+			}
+		}
+		if delaunay.Orient3D(q[0], q[1], q[2], q[3]) < 0 {
+			q[0], q[1] = q[1], q[0]
+		}
+		checkSph(t, "lattice", q[0], q[1], q[2], q[3], q[4])
+	}
+}

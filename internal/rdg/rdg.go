@@ -147,18 +147,25 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	havePrev := false
 	var prevLo, prevHi [3]int64
 
+	// Expected chunk+halo point count (with one expansion of headroom):
+	// sizes the cell arena, the simplex arenas, and the dedup scratch so
+	// the steady state — and in the common converged-at-first-halo case
+	// even the first chunk — allocates nothing beyond the initial arenas.
+	expPts := acc.ChunkHaloTotal(chunk, 2)
+	acc.Reserve(expPts)
+
 	var t2 *delaunay.T2
 	var t3 *delaunay.T3
 	if dim == 2 {
 		if scratch.t2 == nil {
-			scratch.t2 = delaunay.NewT2(int(acc.ChunkTotal(chunk)) * 4)
+			scratch.t2 = delaunay.NewT2(expPts)
 		} else {
 			scratch.t2.Reset()
 		}
 		t2 = scratch.t2
 	} else {
 		if scratch.t3 == nil {
-			scratch.t3 = delaunay.NewT3(int(acc.ChunkTotal(chunk)) * 8)
+			scratch.t3 = delaunay.NewT3(expPts)
 		} else {
 			scratch.t3.Reset()
 		}
@@ -167,6 +174,10 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	// idOf maps triangulation indices to original point IDs; isInt marks
 	// the chunk-owned instances (a wrapped periodic copy of an interior
 	// point is NOT interior — only the original position is).
+	if cap(scratch.idOf) < expPts+4 {
+		scratch.idOf = make([]uint64, 0, expPts+4)
+		scratch.isInt = make([]bool, 0, expPts+4)
+	}
 	idOf := scratch.idOf[:0]
 	isInt := scratch.isInt[:0]
 	superCount := 3
@@ -329,7 +340,14 @@ func triangulateChunk(p Params, g *rgg.Grid, acc *rgg.CellAccess, chunk uint64, 
 	// fully real simplices count — simplices touching the artificial
 	// bounding vertices are never part of the converged region.
 	if scratch.seen == nil {
-		scratch.seen = make(map[pair]bool)
+		// Both directed keys of every interior-incident edge land here:
+		// ~2 * mean-degree * chunk points, sized up front so emission does
+		// not regrow the table.
+		deg := 6.0
+		if dim == 3 {
+			deg = 15.54
+		}
+		scratch.seen = make(map[pair]bool, int(2.4*deg*float64(acc.ChunkTotal(chunk)))+64)
 	} else {
 		clear(scratch.seen)
 	}

@@ -253,6 +253,33 @@ func (a *CellAccess) ChunkTotal(chunk uint64) uint64 {
 	return count
 }
 
+// ChunkHaloTotal estimates how many points a chunk plus halo layers of
+// neighbouring cells will materialize (torus copies included): the
+// chunk's exact count scaled by the cell-box volume ratio, with headroom.
+// Consumers use it to pre-size arenas; correctness never depends on it.
+func (a *CellAccess) ChunkHaloTotal(chunk uint64, halo uint64) int {
+	total := float64(a.ChunkTotal(chunk))
+	c := float64(a.g.CellsPerDim)
+	ratio := (c + 2*float64(halo)) / c
+	f := ratio * ratio
+	if a.g.Dim == 3 {
+		f *= ratio
+	}
+	return int(1.1*total*f) + 64
+}
+
+// Reserve grows the point arena so the next n materialized points append
+// without reallocation. Existing cell spans stay valid: they are offsets
+// into the arena, which is copied, and previously returned slices keep
+// aliasing the old backing array (same contract as append growth).
+func (a *CellAccess) Reserve(n int) {
+	if cap(a.arena)-len(a.arena) < n {
+		next := make([]geometry.Point, len(a.arena), len(a.arena)+n)
+		copy(next, a.arena)
+		a.arena = next
+	}
+}
+
 // chunkFor returns the (materialized) cell table of a chunk.
 func (a *CellAccess) chunkFor(chunk uint64) *chunkCells {
 	if a.last != nil && a.last.chunk == chunk {
