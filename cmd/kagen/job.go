@@ -13,11 +13,14 @@ import (
 const jobUsage = `usage: kagen job <command> [flags]
 
 Plan, execute, checkpoint and resume distributed generation runs with
-zero inter-worker communication. A job directory holds the spec
-(job.json), one shard file per PE, and one checkpoint manifest per
-worker; any worker can crash (or be preempted) and resume from its last
-chunk-granular checkpoint, producing output byte-identical to an
-uninterrupted run.
+zero inter-worker communication. A job destination — a local directory
+or an s3:// URI (-out is an alias of -dir) — holds the spec (job.json),
+one shard per PE, and one checkpoint manifest per worker; any worker can
+crash (or be preempted) and resume from its last chunk-granular
+checkpoint, producing output byte-identical to an uninterrupted run. On
+an object store, shards stream as striped multipart uploads — parts
+upload while later chunks are still generating — and manifests only
+ever record offsets the store durably holds.
 
 Every chunk is re-derivable from the spec alone, so integrity never
 rests on the bytes on disk: manifests carry per-chunk SHA-256 digests
@@ -43,6 +46,11 @@ examples:
   kagen job verify -dir j -all        # exhaustive audit
   kagen job repair -dir j             # fix what verify -all finds
   kagen job merge  -dir j -o graph.bin.gz
+
+  kagen job init   -out s3://bucket/jobs/j -model rgg2d -n 1000000 -pes 16
+  kagen job run    -out s3://bucket/jobs/j -worker 0
+  kagen job verify -out s3://bucket/jobs/j -all
+  kagen job merge  -out s3://bucket/jobs/j -o s3://bucket/graph.txt
 `
 
 func jobMain(args []string) {
@@ -73,7 +81,8 @@ func jobMain(args []string) {
 func jobInit(args []string) {
 	fs := flag.NewFlagSet("kagen job init", flag.ExitOnError)
 	var (
-		dir     = fs.String("dir", "", "job directory (created if missing)")
+		dir     = fs.String("dir", "", "job destination: a directory or s3:// URI (created if missing)")
+		out     = fs.String("out", "", "alias of -dir")
 		model   = fs.String("model", "gnm_undirected", "model: "+modelList())
 		n       = fs.Uint64("n", 1<<16, "number of vertices")
 		m       = fs.Uint64("m", 1<<20, "number of edges (gnm, rmat)")
@@ -93,32 +102,33 @@ func jobInit(args []string) {
 		format  = fs.String("format", "text", "shard format: text, binary, text.gz, binary.gz")
 	)
 	fs.Parse(args)
-	requireDir(fs, *dir)
+	dest := jobDest(fs, *dir, *out)
 	spec := job.Spec{
 		Model: *model, N: *n, M: *m, Prob: *p, R: *r, AvgDeg: *deg,
 		Gamma: *gamma, D: *d, Scale: *scale, Blocks: *blocks, PIn: *pin,
 		POut: *pout, Seed: *seed, PEs: *pes, ChunksPerPE: *cpp,
 		Workers: *workers, Format: *format,
 	}
-	if err := job.Init(*dir, spec); err != nil {
+	if err := job.Init(dest, spec); err != nil {
 		fatal(err)
 	}
 	spec = spec.Normalized()
 	fmt.Printf("job %s: %s over %d PEs x %d chunks, %d worker(s), format %s\nspec hash %s\n",
-		*dir, spec.Model, spec.PEs, spec.ChunksPerPE, spec.Workers, spec.Format, spec.Hash())
+		dest, spec.Model, spec.PEs, spec.ChunksPerPE, spec.Workers, spec.Format, spec.Hash())
 }
 
 func jobRun(verb string, args []string) {
 	fs := flag.NewFlagSet("kagen job "+verb, flag.ExitOnError)
 	var (
-		dir       = fs.String("dir", "", "job directory")
+		dir       = fs.String("dir", "", "job destination: a directory or s3:// URI")
+		out       = fs.String("out", "", "alias of -dir")
 		worker    = fs.Uint64("worker", 0, "worker index in [0, job-workers)")
 		workers   = fs.Int("workers", 0, "worker goroutines for the chunk pipeline (0 = GOMAXPROCS)")
 		batch     = fs.Int("batch", 0, "edge batch capacity (0 = default)")
 		failAfter = fs.Int("fail-after", 0, "abort after this many checkpoints as a simulated crash (testing hook; 0 = never)")
 	)
 	fs.Parse(args)
-	requireDir(fs, *dir)
+	dest := jobDest(fs, *dir, *out)
 	opts := job.RunOptions{Goroutines: *workers, BatchSize: *batch}
 	if *failAfter > 0 {
 		remaining := *failAfter
@@ -132,9 +142,9 @@ func jobRun(verb string, args []string) {
 	}
 	var err error
 	if verb == "resume" {
-		err = job.Resume(*dir, *worker, opts)
+		err = job.Resume(dest, *worker, opts)
 	} else {
-		err = job.Run(*dir, *worker, opts)
+		err = job.Run(dest, *worker, opts)
 	}
 	if err != nil {
 		fatal(err)
@@ -144,16 +154,17 @@ func jobRun(verb string, args []string) {
 
 func jobStatus(args []string) {
 	fs := flag.NewFlagSet("kagen job status", flag.ExitOnError)
-	dir := fs.String("dir", "", "job directory")
+	dir := fs.String("dir", "", "job destination: a directory or s3:// URI")
+	out := fs.String("out", "", "alias of -dir")
 	fs.Parse(args)
-	requireDir(fs, *dir)
-	st, err := job.Inspect(*dir)
+	dest := jobDest(fs, *dir, *out)
+	st, err := job.Inspect(dest)
 	if err != nil {
 		fatal(err)
 	}
 	spec := st.Spec
 	fmt.Printf("job %s: %s, seed %d, %d PEs x %d chunks, format %s\nspec hash %s\n",
-		*dir, spec.Model, spec.Seed, spec.PEs, spec.ChunksPerPE, spec.Format, st.SpecHash)
+		dest, spec.Model, spec.Seed, spec.PEs, spec.ChunksPerPE, spec.Format, st.SpecHash)
 	for _, w := range st.Workers {
 		donePEs, chunksDone, chunks := 0, uint64(0), uint64(0)
 		var edges uint64
@@ -184,14 +195,15 @@ func jobStatus(args []string) {
 func jobVerify(args []string) {
 	fs := flag.NewFlagSet("kagen job verify", flag.ExitOnError)
 	var (
-		dir    = fs.String("dir", "", "job directory")
+		dir    = fs.String("dir", "", "job destination: a directory or s3:// URI")
+		out    = fs.String("out", "", "alias of -dir")
 		all    = fs.Bool("all", false, "check every committed chunk instead of a sample")
 		sample = fs.Int("sample", 2, "chunks checked per PE when sampling")
 		seed   = fs.Int64("seed", 0, "sampling seed (same seed = same chunks)")
 	)
 	fs.Parse(args)
-	requireDir(fs, *dir)
-	res, err := job.Verify(*dir, job.VerifyOptions{All: *all, Sample: *sample, Seed: *seed})
+	dest := jobDest(fs, *dir, *out)
+	res, err := job.Verify(dest, job.VerifyOptions{All: *all, Sample: *sample, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
@@ -215,13 +227,14 @@ func printVerifyResult(res *job.VerifyResult) {
 
 func jobRepair(args []string) {
 	fs := flag.NewFlagSet("kagen job repair", flag.ExitOnError)
-	dir := fs.String("dir", "", "job directory")
+	dir := fs.String("dir", "", "job destination: a directory or s3:// URI")
+	out := fs.String("out", "", "alias of -dir")
 	fs.Parse(args)
-	requireDir(fs, *dir)
+	dest := jobDest(fs, *dir, *out)
 	// Repair is verify-driven: an exhaustive pass finds every fault, the
 	// repair regenerates exactly those, and a second pass proves the job
 	// clean — all from the spec, no other worker consulted.
-	res, err := job.Verify(*dir, job.VerifyOptions{All: true})
+	res, err := job.Verify(dest, job.VerifyOptions{All: true})
 	if err != nil {
 		fatal(err)
 	}
@@ -232,13 +245,13 @@ func jobRepair(args []string) {
 	for _, f := range res.Faults {
 		fmt.Printf("FAULT %s\n", f)
 	}
-	rep, err := job.Repair(*dir, res.Faults)
+	rep, err := job.Repair(dest, res.Faults)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("repaired: %d chunks spliced, %d PEs regenerated, %d manifests rebuilt\n",
 		rep.ChunksSpliced, rep.PEsReset, rep.WorkersRebuilt)
-	after, err := job.Verify(*dir, job.VerifyOptions{All: true})
+	after, err := job.Verify(dest, job.VerifyOptions{All: true})
 	if err != nil {
 		fatal(err)
 	}
@@ -250,26 +263,38 @@ func jobRepair(args []string) {
 
 func jobMerge(args []string) {
 	fs := flag.NewFlagSet("kagen job merge", flag.ExitOnError)
-	dir := fs.String("dir", "", "job directory")
-	out := fs.String("o", "", "output file (default: stdout)")
+	dir := fs.String("dir", "", "job destination: a directory or s3:// URI")
+	jout := fs.String("out", "", "alias of -dir")
+	out := fs.String("o", "", "merged output: a file or s3:// URI (default: stdout)")
 	fs.Parse(args)
-	requireDir(fs, *dir)
+	dest := jobDest(fs, *dir, *jout)
 	if *out == "" {
-		if err := job.Merge(*dir, os.Stdout); err != nil {
+		if err := job.Merge(dest, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := job.MergeToFile(*dir, *out); err != nil {
+	if err := job.MergeToFile(dest, *out); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("merged into %s\n", *out)
 }
 
-func requireDir(fs *flag.FlagSet, dir string) {
-	if dir == "" {
-		fmt.Fprintln(os.Stderr, "kagen job: -dir is required")
+// jobDest resolves the -dir/-out pair (aliases — -out reads naturally
+// for object-store destinations) into the job destination.
+func jobDest(fs *flag.FlagSet, dir, out string) string {
+	if dir != "" && out != "" && dir != out {
+		fmt.Fprintln(os.Stderr, "kagen job: -dir and -out are aliases — set one, not both")
+		os.Exit(2)
+	}
+	dest := dir
+	if dest == "" {
+		dest = out
+	}
+	if dest == "" {
+		fmt.Fprintln(os.Stderr, "kagen job: -dir (or -out) is required")
 		fs.Usage()
 		os.Exit(2)
 	}
+	return dest
 }

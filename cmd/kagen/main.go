@@ -61,7 +61,7 @@ func main() {
 		pes     = flag.Uint64("pes", 1, "number of logical PEs (chunks)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (default: stdout; a directory for sharded formats)")
+		out     = flag.String("o", "", "output destination: a file, file:// or s3:// URI (default: stdout; a directory or URI prefix for sharded formats)")
 		format  = flag.String("format", "text", "output format: text, binary, metis, none; with -stream also text.gz, binary.gz and sharded-<fmt>")
 		stats   = flag.Bool("stats", false, "print graph statistics to stderr")
 		stream  = flag.Bool("stream", false, "stream edges to the sink without materializing the graph")
@@ -155,26 +155,25 @@ func runStream(gen kagen.Generator, model, format, out string, workers int, stat
 			fatal(err)
 		}
 		if out == "" {
-			fatal(fmt.Errorf("format %q needs -o <directory>", format))
+			fatal(fmt.Errorf("format %q needs -o <directory or URI>", format))
 		}
-		sink = kagen.NewShardedSink(out, model, f)
+		sink, err = kagen.OpenSink(out, f, kagen.SinkSharded(model))
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		f, err := kagen.ParseFormat(format)
 		if err != nil {
 			fatal(err)
 		}
-		w := os.Stdout
-		if out != "" {
-			fh, err := os.Create(out)
-			if err != nil {
-				fatal(err)
-			}
-			defer fh.Close()
-			w = fh
+		// OpenSink resolves out — "" or "-" is stdout (where a non-seekable
+		// pipe makes the binary sink fall back to sentinel framing, which
+		// readers accept), a path or file:// is the local filesystem, and
+		// s3:// streams a striped multipart upload to the object store.
+		sink, err = kagen.OpenSink(out, f)
+		if err != nil {
+			fatal(err)
 		}
-		// A non-seekable output (piped stdout) makes the binary sink fall
-		// back to sentinel framing, which readers accept.
-		sink = kagen.NewFormatSink(w, f)
 	}
 
 	counting := &countingSink{Sink: sink}

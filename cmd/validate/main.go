@@ -142,7 +142,7 @@ func validateJob(dir string) []validate.Check {
 	merged := &kagen.EdgeList{}
 	parseErr := error(nil)
 	for _, pe := range completed {
-		el, err := kagen.ReadEdgeListFile(job.ShardPath(dir, pe, format), format)
+		el, err := kagen.ReadEdgeListFrom(job.ShardPath(dir, pe, format), format)
 		if err != nil {
 			parseErr = err
 			break
@@ -207,17 +207,19 @@ func report(checks []validate.Check) {
 	fmt.Printf("all %d checks passed\n", len(checks))
 }
 
-// readInput loads the edge list to check: a single edge-list file in any
-// streaming format, or — when sharded > 0 — a ShardedSink directory whose
-// per-PE shards are merged in PE order.
+// readInput loads the edge list to check: a single edge-list object in
+// any streaming format, or — when sharded > 0 — a sharded-sink
+// destination whose per-PE shards are merged in PE order. Destinations
+// are URIs: a bare path or file:// reads the local filesystem, s3://
+// reads straight from the object store.
 func readInput(path, model string, format kagen.Format, sharded uint64, prefix string) (*kagen.EdgeList, error) {
 	if sharded > 0 {
 		if prefix == "" {
 			prefix = model
 		}
-		return kagen.ReadShardedEdgeList(path, prefix, format, sharded)
+		return kagen.ReadShardedEdgeListFrom(path, prefix, format, sharded)
 	}
-	return kagen.ReadEdgeListFile(path, format)
+	return kagen.ReadEdgeListFrom(path, format)
 }
 
 func fatal(err error) {

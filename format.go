@@ -89,7 +89,10 @@ func (f Format) AppendHeader(buf []byte, n uint64) []byte {
 	return fmt.Appendf(buf, "# %d\n", n)
 }
 
-// NewFormatSink returns a Sink writing the format to w. The plain binary
+// NewFormatSink returns a Sink writing the format to w. It is the
+// io.Writer-level primitive under OpenSink — use it when the bytes go
+// into an existing writer (an HTTP response, a pipe); use OpenSink when
+// they go to a destination URI. The plain binary
 // format patches the true edge count into the header at Close when w
 // supports random-access writes and falls back to the StreamingEdgeCount
 // sentinel otherwise. The probe matters: a piped stdout is an *os.File
@@ -134,13 +137,9 @@ func ReadEdgeList(r io.Reader, f Format) (*EdgeList, error) {
 }
 
 // ReadEdgeListFile reads one edge-list file in the given format.
+// ReadEdgeListFrom is the same over any destination URI.
 func ReadEdgeListFile(path string, f Format) (*EdgeList, error) {
-	fh, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer fh.Close()
-	return ReadEdgeList(fh, f)
+	return ReadEdgeListFrom(path, f)
 }
 
 // seekPatchable reports whether ws supports the seek-back header patch:

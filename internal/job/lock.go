@@ -1,72 +1,57 @@
 package job
 
 import (
-	"bytes"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"repro/internal/storage"
 )
 
 // ErrWorkerRunning reports a Run/Resume refused because another process
 // holds the worker's lock. Callers distinguish it with errors.Is.
 var ErrWorkerRunning = fmt.Errorf("job: worker already running")
 
-// LockPath returns the lock file of one worker inside a job directory.
+// LockPath returns the lock object of one worker inside a job directory.
 func LockPath(dir string, worker uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("worker-w%04d.lock", worker))
+	return storage.Join(dir, fmt.Sprintf("worker-w%04d.lock", worker))
 }
 
 // workerLock is an exclusive per-worker mutex held for the duration of
 // Run/Resume. Without it, two processes running the same worker index
 // both pass the manifest check, then interleave truncates and appends on
 // the same shard and race on the manifest rename — a corrupt shard that
-// still looks committed. On unix the lock is flock(2)-based, so a killed
-// process (the serve crash-recovery path) releases it automatically and
-// a restart resumes without manual cleanup; the lock file itself is left
-// behind on release — unlinking it would race a concurrent acquirer onto
-// an orphaned inode, letting two processes both "hold" the lock.
+// still looks committed. The backend supplies the mechanism: flock(2) on
+// the filesystem (a killed process — the serve crash-recovery path —
+// releases it automatically), a TTL lease object on S3.
 type workerLock struct {
-	f *os.File
+	un storage.Unlock
 }
 
 // acquireWorkerLock takes worker's exclusive lock in dir, failing fast
-// with ErrWorkerRunning (naming the PID that holds it, when recorded) if
-// another process already holds it.
+// with ErrWorkerRunning (naming the holder, when the backend records
+// one) if another process already holds it.
 func acquireWorkerLock(dir string, worker uint64) (*workerLock, error) {
-	path := LockPath(dir, worker)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	store, err := storage.Resolve(dir)
 	if err != nil {
 		return nil, err
 	}
-	if err := tryLockFile(f); err != nil {
-		holder := ""
-		if b, rerr := os.ReadFile(path); rerr == nil {
-			if pid := bytes.TrimSpace(b); len(pid) > 0 {
-				holder = fmt.Sprintf(" by pid %s", pid)
-			}
+	un, err := store.Lock(LockPath(dir, worker))
+	if err != nil {
+		if errors.Is(err, storage.ErrLocked) {
+			return nil, fmt.Errorf("%w: worker %d of %s is locked (%v)",
+				ErrWorkerRunning, worker, dir, err)
 		}
-		f.Close()
-		return nil, fmt.Errorf("%w: worker %d of %s is locked%s (%s)",
-			ErrWorkerRunning, worker, dir, holder, path)
+		return nil, err
 	}
-	// Record the holder for diagnostics only — the kernel lock, not the
-	// PID, is the source of truth.
-	if err := f.Truncate(0); err == nil {
-		f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
-	}
-	return &workerLock{f: f}, nil
+	return &workerLock{un: un}, nil
 }
 
-// Release drops the lock. Closing the file releases the kernel lock on
-// unix; the fallback implementation unlocks explicitly first.
+// Release drops the lock.
 func (l *workerLock) Release() error {
-	if l.f == nil {
+	if l.un == nil {
 		return nil
 	}
-	err := unlockFile(l.f)
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
-	}
-	l.f = nil
+	err := l.un.Release()
+	l.un = nil
 	return err
 }

@@ -5,12 +5,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 
-	"repro/internal/failpoint"
 	"repro/internal/merkle"
+	"repro/internal/storage"
 )
 
 // ChunkRecord is the durable integrity record of one committed chunk:
@@ -98,10 +96,10 @@ type Manifest struct {
 	PEs      []PEProgress `json:"pes"`
 }
 
-// ManifestPath returns the manifest file of one worker inside a job
+// ManifestPath returns the manifest object of one worker inside a job
 // directory.
 func ManifestPath(dir string, worker uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("manifest-w%04d.json", worker))
+	return storage.Join(dir, fmt.Sprintf("manifest-w%04d.json", worker))
 }
 
 // progress returns a pointer to the PE's progress record, or nil.
@@ -125,58 +123,35 @@ func newManifest(spec Spec, worker uint64) *Manifest {
 	return m
 }
 
-// WriteManifest atomically replaces path with the manifest: the JSON is
-// written to a temp file in the same directory, synced, and renamed over
-// path. A crash at any point leaves either the previous manifest or the
-// new one — the recorded progress can lag the shard file (the extra bytes
-// are truncated at resume) but never lead it, because shards are synced
-// before their checkpoint is recorded.
+// WriteManifest atomically replaces path with the manifest through the
+// path's backend: on the filesystem the JSON is written to a temp file,
+// synced, and renamed over path; on an object store the PUT is atomic by
+// contract. A crash at any point leaves either the previous manifest or
+// the new one — the recorded progress can lag the shard (the extra bytes
+// are truncated or re-uploaded at resume) but never lead it, because
+// checkpoints only record durable shard offsets.
 func WriteManifest(path string, m *Manifest) error {
+	store, err := storage.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return writeManifest(store, path, m)
+}
+
+// writeManifest is WriteManifest on an already resolved backend — the
+// per-chunk hot path, which must not re-resolve destinations. The
+// failpoint sites around the atomic publish keep their long-standing
+// names on every backend.
+func writeManifest(store storage.Backend, path string, m *Manifest) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	b = append(b, '\n')
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err = f.Write(b); err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if failpoint.Armed() && failpoint.Eval("job/crash-before-rename") {
-		// Simulated crash between the fsync and the rename: the durable
-		// .tmp is left behind and path still holds the previous manifest.
-		return failpoint.Crash("job/crash-before-rename")
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	// Make the rename itself durable: without the directory sync a power
-	// loss could roll the directory entry back to the previous manifest —
-	// harmless for progress (it only lags), but the first manifest of a
-	// worker must not vanish after its shards start recording against it.
-	if err := syncDir(filepath.Dir(path)); err != nil {
-		return err
-	}
-	if failpoint.Armed() && failpoint.Eval("job/manifest-truncate") {
-		// Simulated external rot: the durably renamed manifest is cut in
-		// half, then the process "crashes". Atomic renames cannot produce
-		// this state — a disk can.
-		if st, err := os.Stat(path); err == nil {
-			os.Truncate(path, st.Size()/2)
-		}
-		return failpoint.Crash("job/manifest-truncate")
-	}
-	return nil
+	return store.Put(path, b, storage.PutOptions{
+		CrashBefore:  "job/crash-before-rename",
+		CorruptAfter: "job/manifest-truncate",
+	})
 }
 
 // ReadManifest reads and strictly validates a worker manifest: unknown
@@ -185,7 +160,16 @@ func WriteManifest(path string, m *Manifest) error {
 // chunks) are all rejected — a corrupt manifest must fail loudly rather
 // than seed a resume with wrong state.
 func ReadManifest(path string, spec Spec) (*Manifest, error) {
-	b, err := os.ReadFile(path)
+	store, err := storage.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return readManifest(store, path, spec)
+}
+
+// readManifest is ReadManifest on an already resolved backend.
+func readManifest(store storage.Backend, path string, spec Spec) (*Manifest, error) {
+	b, err := store.Get(path)
 	if err != nil {
 		return nil, err
 	}

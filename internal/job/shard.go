@@ -7,41 +7,43 @@ import (
 	"fmt"
 	"hash"
 	"io"
-	"os"
-	"path/filepath"
 
 	kagen "repro"
 	"repro/internal/merkle"
+	"repro/internal/storage"
 )
 
-// ShardPath returns the shard file of one PE inside a job directory.
+// ShardPath returns the shard object of one PE inside a job directory.
 // Shards are globally numbered across workers, so merged output never
 // depends on which worker produced a shard.
 func ShardPath(dir string, pe uint64, format kagen.Format) string {
-	return filepath.Join(dir, "shards", fmt.Sprintf("pe%05d.%s", pe, format.Ext()))
+	return storage.Join(dir, "shards", fmt.Sprintf("pe%05d.%s", pe, format.Ext()))
 }
 
-// shardWriter writes one PE's shard with chunk-granular durability. Two
-// properties make reopening a partially written shard safe:
+// shardWriter writes one PE's shard with chunk-granular durability on
+// top of a backend ShardWriter. Two properties make reopening a
+// partially written shard safe:
 //
 //  1. The header is final from the start. Binary shards carry the
 //     StreamingEdgeCount sentinel instead of a patched edge count, so no
 //     writer ever needs to seek back into committed bytes.
-//  2. Committed bytes are only ever appended to. Checkpoint flushes and
-//     fsyncs everything written so far and returns the file offset; for
-//     compressed shards it also finishes the current gzip member, so the
-//     offset falls on a member boundary and truncating to it leaves a
-//     well-formed gzip stream. Resume truncates to the last committed
-//     offset — dropping any torn tail a crash left — and appends, for
-//     compressed shards as a fresh member (concatenated gzip members are
-//     one valid stream).
+//  2. Committed bytes are only ever appended to. Checkpoint flushes
+//     everything written so far into the backend and commits it as one
+//     chunk; for compressed shards it also finishes the current gzip
+//     member, so the offset falls on a member boundary and truncating to
+//     it leaves a well-formed gzip stream. On the filesystem a commit is
+//     an fsync; on S3 the committed chunk joins the pending multipart
+//     part, and durability (Durable) arrives when its part's upload
+//     completes. Resume discards anything past the last durable offset
+//     and appends, for compressed shards as a fresh member (concatenated
+//     gzip members are one valid stream).
 //
 // Because every run checkpoints after every chunk, member boundaries are
 // a pure function of the spec, and a resumed shard is byte-identical to
 // an uninterrupted one.
 type shardWriter struct {
 	format kagen.Format
-	f      *os.File
+	sw     storage.ShardWriter
 	cw     countingWriter
 	gz     *gzip.Writer
 	bw     *bufio.Writer
@@ -61,93 +63,71 @@ type shardWriter struct {
 }
 
 // countingWriter tracks the committed-plus-inflight byte offset of the
-// underlying file.
+// backend writer and, for compressed shards, hashes the wire bytes on
+// the way through: the backend's part checksums are over wire bytes,
+// which for a compressed format differ from the payload the Merkle
+// digest covers. Plain formats leave h nil — there the payload digest
+// is the wire digest and is reused verbatim, so the hot path never
+// hashes the same bytes twice.
 type countingWriter struct {
 	w io.Writer
+	h hash.Hash
 	n int64
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
+	if c.h != nil && n > 0 {
+		c.h.Write(p[:n])
+	}
 	c.n += int64(n)
 	return n, err
 }
 
-// syncDir fsyncs a directory so a freshly created or renamed entry in it
-// survives a power loss — without it, a durable manifest could record
-// progress for a shard whose directory entry never became durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// createShard starts a fresh shard through the backend: it writes the
+// format header and commits it as checkpoint zero, returning the writer
+// and the committed header offset.
+func createShard(store storage.Backend, path string, format kagen.Format, n uint64) (*shardWriter, int64, error) {
+	sw, err := store.CreateShard(path)
 	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// createShard starts a fresh shard: it writes the format header and
-// commits it as checkpoint zero, returning the writer and the committed
-// header offset. The shard directory is synced so the new entry is
-// durable before any manifest can reference it.
-func createShard(path string, format kagen.Format, n uint64) (*shardWriter, int64, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, 0, err
-	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
-		f.Close()
 		return nil, 0, err
 	}
 	w := &shardWriter{format: format}
-	w.init(f, 0)
+	w.init(sw, 0)
 	if err := w.write(format.AppendHeader(nil, n)); err != nil {
-		f.Close()
+		sw.Close()
 		return nil, 0, err
 	}
 	off, _, err := w.Checkpoint()
 	if err != nil {
-		f.Close()
+		sw.Close()
 		return nil, 0, err
 	}
 	return w, off, nil
 }
 
-// reopenShard resumes a partially written shard: the file is truncated to
-// the last committed offset (discarding any torn tail) and positioned for
-// appending.
-func reopenShard(path string, format kagen.Format, offset int64) (*shardWriter, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+// reopenShard resumes a partially written shard at the last durable
+// offset: the filesystem truncates any torn tail away, S3 reattaches to
+// the multipart upload whose parts sum to the offset. A
+// storage.ErrNoShard means no resumable state survives and the caller
+// must reset the PE and regenerate.
+func reopenShard(store storage.Backend, path string, format kagen.Format, offset int64) (*shardWriter, error) {
+	sw, err := store.ResumeShard(path, offset)
 	if err != nil {
-		return nil, err
-	}
-	st, err := f.Stat()
-	if err == nil && st.Size() < offset {
-		err = fmt.Errorf("job: shard %s has %d bytes, manifest committed %d — shard and manifest disagree", path, st.Size(), offset)
-	}
-	if err == nil {
-		err = f.Truncate(offset)
-	}
-	if err == nil {
-		_, err = f.Seek(offset, io.SeekStart)
-	}
-	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	w := &shardWriter{format: format}
-	w.init(f, offset)
+	w.init(sw, offset)
 	return w, nil
 }
 
-func (w *shardWriter) init(f *os.File, off int64) {
-	w.f = f
+func (w *shardWriter) init(sw storage.ShardWriter, off int64) {
+	w.sw = sw
 	w.h = sha256.New()
-	w.cw = countingWriter{w: f, n: off}
+	w.cw = countingWriter{w: sw, n: off}
 	var target io.Writer = &w.cw
 	if w.format.Compressed() {
+		w.cw.h = sha256.New()
 		w.gz = gzip.NewWriter(&w.cw)
 		target = w.gz
 	}
@@ -176,13 +156,19 @@ func (w *shardWriter) AppendBatch(edges []kagen.Edge) error {
 	return w.write(buf)
 }
 
-// Checkpoint makes everything written so far durable and returns the
-// committed byte offset plus the SHA-256 digest of the payload bytes
-// written since the last checkpoint — the chunk's Merkle leaf. For
-// compressed shards it finishes the current gzip member so the offset is
-// a valid truncation point. A checkpoint with nothing written since the
-// last one (an empty chunk) is free, returns the unchanged offset, and
-// digests the empty payload.
+// offset returns the committed-plus-inflight byte offset.
+func (w *shardWriter) offset() int64 { return w.cw.n }
+
+// Checkpoint commits everything written since the last checkpoint as one
+// chunk and returns the committed byte offset plus the SHA-256 digest of
+// the chunk's payload bytes — its Merkle leaf. For compressed shards it
+// finishes the current gzip member so the offset is a valid truncation
+// point. The backend receives the chunk's wire digest as the commit
+// checksum: for plain formats that is the payload digest itself, reused
+// with zero extra hashing; for compressed formats it is the member hash
+// the countingWriter accumulated in passing. A checkpoint with nothing
+// written since the last one (an empty chunk) is free, returns the
+// unchanged offset, and digests the empty payload.
 func (w *shardWriter) Checkpoint() (int64, merkle.Digest, error) {
 	var d merkle.Digest
 	if !w.dirty {
@@ -198,23 +184,49 @@ func (w *shardWriter) Checkpoint() (int64, merkle.Digest, error) {
 		}
 		w.needReset = true
 	}
-	if err := w.f.Sync(); err != nil {
-		return 0, d, err
-	}
 	w.dirty = false
 	w.h.Sum(d[:0])
 	w.h.Reset()
-	return w.cw.n, d, nil
+	wire := [32]byte(d)
+	if w.cw.h != nil {
+		w.cw.h.Sum(wire[:0])
+		w.cw.h.Reset()
+	}
+	off, err := w.sw.Commit(wire)
+	if err != nil {
+		return 0, d, err
+	}
+	return off, d, nil
 }
 
-// Close closes the shard file. Bytes buffered since the last checkpoint
-// are deliberately dropped, not flushed: only checkpointed state is
-// meaningful, and a resume truncates past anything else anyway.
-func (w *shardWriter) Close() error {
-	if w.f == nil {
+// Durable returns the contiguous committed prefix the backend is known
+// to hold — what checkpoint manifests may record.
+func (w *shardWriter) Durable() (int64, error) { return w.sw.Durable() }
+
+// Finalize publishes the shard (S3: CompleteMultipartUpload; filesystem:
+// a final sync — shards live at their destination from the first byte)
+// and releases the writer.
+func (w *shardWriter) Finalize() error {
+	if w.sw == nil {
 		return nil
 	}
-	err := w.f.Close()
-	w.f = nil
+	err := w.sw.Finalize()
+	if cerr := w.sw.Close(); err == nil {
+		err = cerr
+	}
+	w.sw = nil
+	return err
+}
+
+// Close releases the writer, keeping committed state resumable. Bytes
+// buffered since the last checkpoint are deliberately dropped, not
+// flushed: only checkpointed state is meaningful, and a resume discards
+// anything past it anyway.
+func (w *shardWriter) Close() error {
+	if w.sw == nil {
+		return nil
+	}
+	err := w.sw.Close()
+	w.sw = nil
 	return err
 }

@@ -15,6 +15,7 @@ import (
 
 	kagen "repro"
 	"repro/internal/merkle"
+	"repro/internal/storage"
 )
 
 // Fault reasons reported by Verify.
@@ -84,7 +85,11 @@ func (r *VerifyResult) OK() bool { return len(r.Faults) == 0 }
 // Workers that have not started are skipped — absence of progress is not
 // a fault. An incomplete job verifies its committed prefix.
 func Verify(dir string, opts VerifyOptions) (*VerifyResult, error) {
-	spec, err := Load(dir)
+	store, err := storage.Resolve(dir)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := loadSpec(store, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -97,10 +102,10 @@ func Verify(dir string, opts VerifyOptions) (*VerifyResult, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for w := uint64(0); w < spec.Workers; w++ {
 		mpath := ManifestPath(dir, w)
-		if _, serr := os.Stat(mpath); errors.Is(serr, fs.ErrNotExist) {
+		if _, serr := store.Stat(mpath); errors.Is(serr, fs.ErrNotExist) {
 			continue
 		}
-		m, err := ReadManifest(mpath, spec)
+		m, err := readManifest(store, mpath, spec)
 		if err != nil {
 			res.Faults = append(res.Faults, Fault{Worker: w, PE: -1, Chunk: -1, Reason: FaultManifest, Detail: err.Error()})
 			continue
@@ -111,18 +116,20 @@ func Verify(dir string, opts VerifyOptions) (*VerifyResult, error) {
 				continue
 			}
 			res.PEsChecked++
-			res.Faults = append(res.Faults, verifyPE(dir, spec, streamer, format, w, prog, opts, rng, &res.ChunksChecked)...)
+			res.Faults = append(res.Faults, verifyPE(store, dir, spec, streamer, format, w, prog, opts, rng, &res.ChunksChecked)...)
 		}
 	}
 	return res, nil
 }
 
-// verifyPE checks a sample (or all) of one PE's committed chunks.
-func verifyPE(dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, worker uint64, prog *PEProgress, opts VerifyOptions, rng *rand.Rand, checked *int) []Fault {
+// verifyPE checks a sample (or all) of one PE's committed chunks,
+// reading the shard bytes straight from the backend (ranged GETs on an
+// object store — no local staging).
+func verifyPE(store storage.Backend, dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, worker uint64, prog *PEProgress, opts VerifyOptions, rng *rand.Rand, checked *int) []Fault {
 	var faults []Fault
 	pe := int64(prog.PE)
 	path := ShardPath(dir, prog.PE, format)
-	f, err := os.Open(path)
+	f, err := store.Open(path)
 	if err != nil {
 		return []Fault{{Worker: worker, PE: pe, Chunk: -1, Reason: FaultShard, Detail: err.Error()}}
 	}
@@ -298,7 +305,11 @@ type RepairResult struct {
 // Repair is as communication-free as generation: any worker holding the
 // spec can repair any shard.
 func Repair(dir string, faults []Fault) (*RepairResult, error) {
-	spec, err := Load(dir)
+	store, err := storage.Resolve(dir)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := loadSpec(store, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -335,7 +346,7 @@ func Repair(dir string, faults []Fault) (*RepairResult, error) {
 			res.WorkersRebuilt++
 			continue
 		}
-		if err := repairShards(dir, spec, streamer, format, w, wfaults, res); err != nil {
+		if err := repairShards(store, dir, spec, streamer, format, w, wfaults, res); err != nil {
 			return nil, err
 		}
 	}
@@ -344,8 +355,8 @@ func Repair(dir string, faults []Fault) (*RepairResult, error) {
 
 // repairShards fixes shard-corrupt faults of one worker: chunk splices
 // where the regenerated bytes fit, PE resets where they do not.
-func repairShards(dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, worker uint64, faults []Fault, res *RepairResult) error {
-	m, err := ReadManifest(ManifestPath(dir, worker), spec)
+func repairShards(store storage.Backend, dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, worker uint64, faults []Fault, res *RepairResult) error {
+	m, err := readManifest(store, ManifestPath(dir, worker), spec)
 	if err != nil {
 		return err
 	}
@@ -382,7 +393,7 @@ func repairShards(dir string, spec Spec, streamer kagen.Streamer, format kagen.F
 			resetPEs[pe] = true
 			continue
 		}
-		if err := spliceFile(ShardPath(dir, pe, format), start, end, member); err != nil {
+		if err := spliceObject(store, ShardPath(dir, pe, format), start, end, member); err != nil {
 			lock.Release()
 			return err
 		}
@@ -411,10 +422,32 @@ func repairShards(dir string, spec Spec, streamer kagen.Streamer, format kagen.F
 	return nil
 }
 
-// spliceFile atomically replaces bytes [start, end) of a file with
-// replacement, preserving everything around them: the new content is
-// assembled in a temp file in the same directory, synced, and renamed
-// over the original.
+// spliceObject atomically replaces bytes [start, end) of a shard with
+// replacement, preserving everything around them. On the local
+// filesystem the new content is assembled streaming in a temp file in
+// the same directory, synced, and renamed over the original; on an
+// object store the object is rewritten through one atomic PUT (shards
+// sized for chunk-splice repair fit in memory — a shard too large for
+// that resets its PE instead).
+func spliceObject(store storage.Backend, path string, start, end int64, replacement []byte) error {
+	if store.Local() {
+		return spliceFile(localPath(path), start, end, replacement)
+	}
+	old, err := store.Get(path)
+	if err != nil {
+		return err
+	}
+	if end > int64(len(old)) {
+		return fmt.Errorf("job: splice [%d,%d) past object end %d", start, end, len(old))
+	}
+	spliced := make([]byte, 0, int64(len(old))-(end-start)+int64(len(replacement)))
+	spliced = append(spliced, old[:start]...)
+	spliced = append(spliced, replacement...)
+	spliced = append(spliced, old[end:]...)
+	return store.Put(path, spliced, storage.PutOptions{})
+}
+
+// spliceFile is spliceObject's streaming filesystem path.
 func spliceFile(path string, start, end int64, replacement []byte) error {
 	src, err := os.Open(path)
 	if err != nil {
@@ -449,7 +482,7 @@ func spliceFile(path string, start, end int64, replacement []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return storage.SyncDir(filepath.Dir(path))
 }
 
 // RebuildManifest reconstructs one worker's manifest from the spec and
@@ -461,7 +494,11 @@ func spliceFile(path string, start, end int64, replacement []byte) error {
 // Merkle root; anything shorter is left resumable, so a following Run
 // regenerates only the unmatched suffix.
 func RebuildManifest(dir string, worker uint64) error {
-	spec, err := Load(dir)
+	store, err := storage.Resolve(dir)
+	if err != nil {
+		return err
+	}
+	spec, err := loadSpec(store, dir)
 	if err != nil {
 		return err
 	}
@@ -480,17 +517,17 @@ func RebuildManifest(dir string, worker uint64) error {
 	defer lock.Release()
 	m := newManifest(spec, worker)
 	for i := range m.PEs {
-		if err := rebuildPE(dir, spec, streamer, format, &m.PEs[i]); err != nil {
+		if err := rebuildPE(store, dir, spec, streamer, format, &m.PEs[i]); err != nil {
 			return err
 		}
 	}
-	return WriteManifest(ManifestPath(dir, worker), m)
+	return writeManifest(store, ManifestPath(dir, worker), m)
 }
 
 // rebuildPE fills one PE's progress from its shard's matching prefix.
-func rebuildPE(dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, prog *PEProgress) error {
+func rebuildPE(store storage.Backend, dir string, spec Spec, streamer kagen.Streamer, format kagen.Format, prog *PEProgress) error {
 	path := ShardPath(dir, prog.PE, format)
-	f, err := os.Open(path)
+	f, err := store.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil // no shard: zero progress, Run starts it fresh
 	}
@@ -498,11 +535,7 @@ func rebuildPE(dir string, spec Spec, streamer kagen.Streamer, format kagen.Form
 		return err
 	}
 	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	size := st.Size()
+	size := f.Size()
 
 	header, err := encodeOnDisk(format, format.AppendHeader(nil, streamer.N()))
 	if err != nil {
@@ -573,10 +606,10 @@ func prefixMatches(f io.ReaderAt, off int64, want []byte, size int64) bool {
 // Silently appending to corrupt data would launder the corruption into a
 // "complete" job, which is the one failure mode a tamper-evident store
 // must not have.
-func auditCommitted(path string, format kagen.Format, n uint64, manifest *Manifest, mpath string, prog *PEProgress) error {
+func auditCommitted(store storage.Backend, path string, format kagen.Format, n uint64, manifest *Manifest, mpath string, prog *PEProgress) error {
 	good := 0 // chunks verified intact
 	headerOK := false
-	f, err := os.Open(path)
+	f, err := store.Open(path)
 	if err == nil {
 		func() {
 			defer f.Close()
@@ -604,7 +637,7 @@ func auditCommitted(path string, format kagen.Format, n uint64, manifest *Manife
 	}
 	// Quarantine before rollback: keep the corrupt evidence, then shrink
 	// the manifest so resume regenerates from the last intact chunk.
-	if err := quarantine(path, format, prog, headerOK, good); err != nil {
+	if err := quarantine(store, path, prog, headerOK, good); err != nil {
 		return err
 	}
 	if !headerOK {
@@ -621,16 +654,16 @@ func auditCommitted(path string, format kagen.Format, n uint64, manifest *Manife
 		prog.Offset = goodEnd
 		prog.Edges = edges
 	}
-	return WriteManifest(mpath, manifest)
+	return writeManifest(store, mpath, manifest)
 }
 
-// quarantine copies the corrupt part of a shard (the whole file if the
+// quarantine copies the corrupt part of a shard (the whole object if the
 // header is bad, the suffix past the last intact chunk otherwise) to
 // <shard>.quarantine for post-mortem, replacing any previous quarantine.
-func quarantine(path string, format kagen.Format, prog *PEProgress, headerOK bool, good int) error {
-	src, err := os.Open(path)
+func quarantine(store storage.Backend, path string, prog *PEProgress, headerOK bool, good int) error {
+	src, err := store.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil // nothing on disk to preserve
+		return nil // nothing in the store to preserve
 	}
 	if err != nil {
 		return err
@@ -646,13 +679,9 @@ func quarantine(path string, format kagen.Format, prog *PEProgress, headerOK boo
 	if _, err := src.Seek(from, io.SeekStart); err != nil {
 		return err
 	}
-	dst, err := os.Create(path + ".quarantine")
+	bad, err := io.ReadAll(src)
 	if err != nil {
 		return err
 	}
-	_, err = io.Copy(dst, src)
-	if cerr := dst.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return store.Put(path+".quarantine", bad, storage.PutOptions{})
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"sync/atomic"
+
+	"repro/internal/storage"
 )
 
 // The metrics layer is deliberately flat: a fixed set of typed fields on
@@ -116,6 +118,32 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			c.name, c.help, c.name, c.name, c.c.Value()); err != nil {
 			return err
 		}
+	}
+	// Striped-upload counters from the storage layer, process-global:
+	// they cover every S3 destination the process writes (jobs, merges),
+	// not just serve's own. All zero when every destination is local.
+	up := storage.UploadStats()
+	uploads := []struct {
+		name, help string
+		v          int64
+	}{
+		{"kagen_storage_parts_uploaded_total", "Multipart parts uploaded to object-store backends.", up.PartsUploaded},
+		{"kagen_storage_part_retries_total", "Part uploads retried after a transient object-store error.", up.PartRetries},
+		{"kagen_storage_bytes_uploaded_total", "Part payload bytes uploaded to object-store backends.", up.BytesUploaded},
+		{"kagen_storage_checksums_reused_total", "Part checksums reused verbatim from chunk commit digests.", up.ChecksumReused},
+		{"kagen_storage_checksums_rehashed_total", "Part checksums recomputed because parts coalesced chunks.", up.ChecksumRehashed},
+	}
+	for _, c := range uploads {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	const inflight = "kagen_storage_parts_max_inflight"
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+		inflight, "High-water mark of concurrently uploading parts.",
+		inflight, inflight, up.MaxInFlight); err != nil {
+		return err
 	}
 	gauges := []struct {
 		name, help string

@@ -30,6 +30,8 @@ func TestMetricsExposition(t *testing.T) {
 		"kagen_jobs_submitted_total 3",
 		"kagen_cache_hits_total 1",
 		"kagen_edges_generated_total 12345",
+		"# TYPE kagen_storage_parts_uploaded_total counter",
+		"# TYPE kagen_storage_parts_max_inflight gauge",
 		"# TYPE kagen_queue_depth gauge",
 		"kagen_queue_depth 2",
 		"kagen_jobs_inflight 1",

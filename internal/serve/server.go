@@ -31,6 +31,7 @@ import (
 
 	kagen "repro"
 	"repro/internal/job"
+	"repro/internal/storage"
 )
 
 // Job lifecycle states. Queued and running live only in memory; the
@@ -589,10 +590,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleShard serves one PE's shard file. http.ServeFile gives range
-// requests for free, so consumers can stripe downloads or re-fetch a
-// tail. A shard is served as soon as its PE is finalized, even while the
-// rest of the job still runs — finalized shards are immutable.
+// handleShard serves one PE's shard through its storage backend.
+// http.ServeContent gives range requests for free (the backend reader
+// seeks, and on S3 a seek+read is a ranged GET), so consumers can stripe
+// downloads or re-fetch a tail. A shard is served as soon as its PE is
+// finalized, even while the rest of the job still runs — finalized
+// shards are immutable.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	js, ok := s.lookup(w, r)
 	if !ok {
@@ -629,11 +632,29 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	format := spec.ShardFormat()
+	path := job.ShardPath(dir, pe, format)
+	store, err := storage.Resolve(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "resolve shard: %v", err)
+		return
+	}
+	f, err := store.Open(path)
+	if err != nil {
+		if errors.Is(err, storage.ErrNotExist) {
+			writeError(w, http.StatusNotFound, "shard %d not found", pe)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "open shard: %v", err)
+		return
+	}
+	defer f.Close()
 	w.Header().Set("Content-Type", contentType(format))
-	// Spec hash + PE pins the shard's bytes; ServeFile handles
-	// If-None-Match (304) and If-Range against it.
+	// Spec hash + PE pins the shard's bytes; ServeContent handles
+	// If-None-Match (304) and If-Range against it. The zero modtime
+	// disables Last-Modified, which could not be trusted anyway — the
+	// ETag is the whole identity.
 	w.Header().Set("ETag", fmt.Sprintf(`"%s-pe%d"`, js.id, pe))
-	http.ServeFile(w, r, job.ShardPath(dir, pe, format))
+	http.ServeContent(w, r, storage.Base(path), time.Time{}, f)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -6,11 +6,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"strconv"
 
 	"repro/internal/graph"
+	"repro/internal/storage"
 )
 
 // WriteEdgeListText writes "# n m" followed by one "u v" pair per line.
@@ -68,6 +67,9 @@ type TextSink struct {
 }
 
 // NewTextSink returns a Sink writing the text edge-list format to w.
+//
+// Deprecated: use OpenSink (for destinations) or NewFormatSink (for an
+// existing io.Writer).
 func NewTextSink(w io.Writer) *TextSink {
 	return &TextSink{bw: bufio.NewWriterSize(w, 1<<20)}
 }
@@ -119,6 +121,9 @@ type BinarySink struct {
 }
 
 // NewBinarySink returns a Sink writing the binary edge-list format to ws.
+//
+// Deprecated: use OpenSink (for destinations) or NewFormatSink (for an
+// existing io.Writer), which also handle non-seekable writers.
 func NewBinarySink(ws io.WriteSeeker) *BinarySink {
 	return &BinarySink{ws: ws, bw: bufio.NewWriterSize(ws, 1<<20)}
 }
@@ -182,6 +187,9 @@ type BinaryStreamSink struct {
 
 // NewBinaryStreamSink returns a Sink writing the sentinel-framed binary
 // edge-list format to w.
+//
+// Deprecated: use OpenSink (for destinations) or NewFormatSink (for an
+// existing io.Writer).
 func NewBinaryStreamSink(w io.Writer) *BinaryStreamSink {
 	return &BinaryStreamSink{bw: bufio.NewWriterSize(w, 1<<20)}
 }
@@ -223,61 +231,82 @@ func (s *BinarySink) Close() error {
 	return err
 }
 
-// ShardedSink writes one self-contained edge-list file per PE into a
-// directory: <prefix>-pe<id>.<ext>, each readable with ReadEdgeList and
-// carrying the global vertex count — the per-PE partitioned output a
-// distributed consumer expects. All four streaming formats are supported;
-// compressed shards are gzipped whole. Each shard is written
-// incrementally batch by batch: a shard file is opened at the PE's first
-// batch and finalized at its EndPE, so no chunk is ever held in memory.
-// Plain binary shards get their edge count patched into the header at
-// EndPE; text shards use the streaming "# n" header (no edge count) and
-// compressed binary shards the StreamingEdgeCount sentinel, both of which
-// the readers accept.
+// ShardedSink writes one self-contained edge-list file per PE under a
+// destination — a directory, or an object-store prefix when the
+// destination is a URI: <prefix>-pe<id>.<ext>, each readable with
+// ReadEdgeList and carrying the global vertex count — the per-PE
+// partitioned output a distributed consumer expects. All four streaming
+// formats are supported; compressed shards are gzipped whole. Each shard
+// is written incrementally batch by batch: a shard object is created at
+// the PE's first batch and finalized at its EndPE, so no chunk is ever
+// held in memory. Shards are created exclusively: a pre-existing shard
+// at the destination is an error, never a silent truncate. Plain binary
+// shards get their edge count patched into the header at EndPE when the
+// backend's writer supports it (the filesystem's staging file does);
+// otherwise — and always for text and compressed shards — the streaming
+// header the readers accept is used.
 type ShardedSink struct {
-	dir    string
+	dest   string
 	prefix string
 	format Format
+	be     storage.Backend
 	n      uint64
 	pes    uint64
 
-	f       *os.File
+	w       storage.Writer
 	gz      *gzip.Writer
 	bw      *bufio.Writer
+	patch   bool   // open shard's header count is patched at EndPE
 	count   uint64 // edges written to the open shard
 	scratch []byte
 }
 
 // NewShardedSink returns a Sink writing per-PE shard files into dir,
 // creating it if necessary, in the given streaming format.
+//
+// Deprecated: use OpenSink with SinkSharded, which also accepts
+// object-store destinations.
 func NewShardedSink(dir, prefix string, format Format) *ShardedSink {
-	return &ShardedSink{dir: dir, prefix: prefix, format: format}
+	return &ShardedSink{dest: dir, prefix: prefix, format: format}
 }
 
-// ShardPath returns the file path of one PE's shard.
+// ShardPath returns the destination of one PE's shard.
 func (s *ShardedSink) ShardPath(pe uint64) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s-pe%05d.%s", s.prefix, pe, s.format.Ext()))
+	return shardDest(s.dest, s.prefix, pe, s.format)
 }
 
-// Begin creates the shard directory.
+// Begin resolves the destination's backend and prepares the shard
+// directory.
 func (s *ShardedSink) Begin(n, pes uint64) error {
 	s.n, s.pes = n, pes
-	return os.MkdirAll(s.dir, 0o755)
+	if s.be == nil {
+		be, err := storage.Resolve(s.dest)
+		if err != nil {
+			return err
+		}
+		s.be = be
+	}
+	return s.be.EnsureDir(s.dest)
 }
 
-// openShard starts the PE's shard file and writes its header.
+// openShard starts the PE's shard object and writes its header.
 func (s *ShardedSink) openShard(pe uint64) error {
-	f, err := os.Create(s.ShardPath(pe))
+	if s.be == nil {
+		if err := s.Begin(s.n, s.pes); err != nil {
+			return err
+		}
+	}
+	w, err := s.be.Create(s.ShardPath(pe), true)
 	if err != nil {
 		return err
 	}
-	s.f = f
-	var target io.Writer = f
+	s.w = w
+	var target io.Writer = w
 	if s.format.Compressed() {
 		if s.gz == nil {
-			s.gz = gzip.NewWriter(f)
+			s.gz = gzip.NewWriter(target)
 		} else {
-			s.gz.Reset(f)
+			s.gz.Reset(target)
 		}
 		target = s.gz
 	}
@@ -287,7 +316,13 @@ func (s *ShardedSink) openShard(pe uint64) error {
 		s.bw.Reset(target)
 	}
 	s.count = 0
+	s.patch = false
 	if s.format == FormatBinary {
+		if ws, ok := w.(io.WriteSeeker); ok && seekPatchable(ws) {
+			s.patch = true
+		}
+	}
+	if s.patch {
 		// Seekable plain binary: placeholder count, patched at EndPE.
 		_, err = s.bw.Write(appendBinaryHeader(s.scratch[:0], s.n, 0))
 		s.scratch = s.scratch[:0]
@@ -302,7 +337,7 @@ func (s *ShardedSink) openShard(pe uint64) error {
 // Batch appends one batch to the PE's shard, opening it first if this is
 // the PE's first batch.
 func (s *ShardedSink) Batch(pe uint64, edges []Edge) error {
-	if s.f == nil {
+	if s.w == nil {
 		if err := s.openShard(pe); err != nil {
 			return err
 		}
@@ -316,11 +351,11 @@ func (s *ShardedSink) Batch(pe uint64, edges []Edge) error {
 
 // EndPE finalizes the PE's shard: it flushes the buffered edges, finishes
 // the gzip stream of a compressed shard, patches the plain-binary edge
-// count, and closes the file. A PE without any batches still produces a
-// complete (empty) shard. If finalization fails the partial file is
-// deleted — a shard on disk is always complete.
+// count, and publishes the object. A PE without any batches still
+// produces a complete (empty) shard. If finalization fails the partial
+// object is aborted — a shard at the destination is always complete.
 func (s *ShardedSink) EndPE(pe uint64) error {
-	if s.f == nil {
+	if s.w == nil {
 		if err := s.openShard(pe); err != nil {
 			return err
 		}
@@ -331,56 +366,42 @@ func (s *ShardedSink) EndPE(pe uint64) error {
 			err = cerr
 		}
 	}
-	if err == nil && s.format == FormatBinary {
-		if _, serr := s.f.Seek(8, io.SeekStart); serr != nil {
+	if err == nil && s.patch {
+		ws := s.w.(io.WriteSeeker)
+		if _, serr := ws.Seek(8, io.SeekStart); serr != nil {
 			err = fmt.Errorf("kagen: sharded sink cannot patch edge count: %w", serr)
 		} else {
 			var buf [8]byte
 			binary.LittleEndian.PutUint64(buf[:], s.count)
-			_, err = s.f.Write(buf[:])
+			if _, err = ws.Write(buf[:]); err == nil {
+				_, err = ws.Seek(0, io.SeekEnd)
+			}
 		}
 	}
-	name := s.f.Name()
-	if cerr := s.f.Close(); err == nil {
-		err = cerr
-	}
-	s.f = nil
+	w := s.w
+	s.w = nil
 	if err != nil {
-		os.Remove(name) // best effort: never leave a truncated shard behind
+		w.Abort() // best effort: never leave a truncated shard behind
+		return err
 	}
-	return err
+	return w.Finalize()
 }
 
-// Close handles a shard left open by an aborted run: the partial file is
-// closed and deleted, so an abort never leaves a shard that would later
-// read back as a valid (but truncated or empty) edge list.
+// Close handles a shard left open by an aborted run: the partial object
+// is aborted, so an abort never leaves a shard that would later read
+// back as a valid (but truncated or empty) edge list.
 func (s *ShardedSink) Close() error {
-	if s.f == nil {
+	if s.w == nil {
 		return nil
 	}
-	name := s.f.Name()
-	err := s.f.Close()
-	if rerr := os.Remove(name); err == nil {
-		err = rerr
-	}
-	s.f = nil
+	err := s.w.Abort()
+	s.w = nil
 	return err
 }
 
 // ReadShardedEdgeList reads the shard files written by a ShardedSink with
 // the given directory, prefix and format, and merges them in PE order.
+// ReadShardedEdgeListFrom is the same over any destination URI.
 func ReadShardedEdgeList(dir, prefix string, format Format, pes uint64) (*EdgeList, error) {
-	s := ShardedSink{dir: dir, prefix: prefix, format: format}
-	merged := &EdgeList{}
-	for pe := uint64(0); pe < pes; pe++ {
-		el, err := ReadEdgeListFile(s.ShardPath(pe), format)
-		if err != nil {
-			return nil, err
-		}
-		if el.N > merged.N {
-			merged.N = el.N
-		}
-		merged.Edges = append(merged.Edges, el.Edges...)
-	}
-	return merged, nil
+	return ReadShardedEdgeListFrom(dir, prefix, format, pes)
 }
