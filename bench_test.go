@@ -73,3 +73,7 @@ func BenchmarkAblationStreamSetup(b *testing.B) { benchreg.Group(b, "AblationStr
 // --- Delaunay insert hot path (adaptive predicates + arenas) ---
 
 func BenchmarkDelaunay(b *testing.B) { benchreg.Group(b, "Delaunay") }
+
+// --- Observability hot-path cost (disabled paths must be alloc-free) ---
+
+func BenchmarkObs(b *testing.B) { benchreg.Group(b, "Obs") }

@@ -4,8 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/job"
+	"repro/internal/obs"
 )
 
 // jobUsage is printed for `kagen job` without (or with an unknown)
@@ -31,10 +35,16 @@ commands:
   init    write a new job spec into a directory
   run     execute one worker's PE range (continues from checkpoints)
   resume  like run, but requires an existing manifest
-  status  summarize per-worker progress and resumable gaps
+  status  summarize per-worker progress and resumable gaps (-watch polls)
   verify  re-derive sampled (or all) chunks and check manifests + shards
   repair  regenerate and splice back everything verify finds corrupt
   merge   concatenate the finished shards into one edge-list file
+  trace   export the job's recorded spans as Chrome trace-event JSON
+
+Every subcommand takes -log-level/-log-format (structured logs to
+stderr). run/resume also take -trace (record worker/PE/chunk/upload
+spans; persisted under <dir>/trace/ and exported by "job trace"),
+-cpuprofile and -memprofile.
 
 examples:
   kagen job init   -dir j -model gnm_undirected -n 1000000 -m 16000000 \
@@ -46,6 +56,9 @@ examples:
   kagen job verify -dir j -all        # exhaustive audit
   kagen job repair -dir j             # fix what verify -all finds
   kagen job merge  -dir j -o graph.bin.gz
+  kagen job run    -dir j -worker 0 -trace w0.json -log-level info
+  kagen job trace  -dir j -o trace.json  # open in Perfetto / chrome://tracing
+  kagen job status -dir j -watch      # live per-PE progress + edges/sec
 
   kagen job init   -out s3://bucket/jobs/j -model rgg2d -n 1000000 -pes 16
   kagen job run    -out s3://bucket/jobs/j -worker 0
@@ -71,6 +84,8 @@ func jobMain(args []string) {
 		jobRepair(args[1:])
 	case "merge":
 		jobMerge(args[1:])
+	case "trace":
+		jobTrace(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "kagen job: unknown command %q\n\n", args[0])
 		fmt.Fprint(os.Stderr, jobUsage)
@@ -101,7 +116,9 @@ func jobInit(args []string) {
 		workers = fs.Uint64("job-workers", 1, "worker processes the PE set is split across")
 		format  = fs.String("format", "text", "shard format: text, binary, text.gz, binary.gz")
 	)
+	applyLog := logFlags(fs, "warn")
 	fs.Parse(args)
+	applyLog()
 	dest := jobDest(fs, *dir, *out)
 	spec := job.Spec{
 		Model: *model, N: *n, M: *m, Prob: *p, R: *r, AvgDeg: *deg,
@@ -120,16 +137,29 @@ func jobInit(args []string) {
 func jobRun(verb string, args []string) {
 	fs := flag.NewFlagSet("kagen job "+verb, flag.ExitOnError)
 	var (
-		dir       = fs.String("dir", "", "job destination: a directory or s3:// URI")
-		out       = fs.String("out", "", "alias of -dir")
-		worker    = fs.Uint64("worker", 0, "worker index in [0, job-workers)")
-		workers   = fs.Int("workers", 0, "worker goroutines for the chunk pipeline (0 = GOMAXPROCS)")
-		batch     = fs.Int("batch", 0, "edge batch capacity (0 = default)")
-		failAfter = fs.Int("fail-after", 0, "abort after this many checkpoints as a simulated crash (testing hook; 0 = never)")
+		dir        = fs.String("dir", "", "job destination: a directory or s3:// URI")
+		out        = fs.String("out", "", "alias of -dir")
+		worker     = fs.Uint64("worker", 0, "worker index in [0, job-workers)")
+		workers    = fs.Int("workers", 0, "worker goroutines for the chunk pipeline (0 = GOMAXPROCS)")
+		batch      = fs.Int("batch", 0, "edge batch capacity (0 = default)")
+		failAfter  = fs.Int("fail-after", 0, "abort after this many checkpoints as a simulated crash (testing hook; 0 = never)")
+		traceOut   = fs.String("trace", "", "record worker/PE/chunk/upload spans and write Chrome trace-event JSON to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (after GC) to this file when the run ends")
 	)
+	applyLog := logFlags(fs, "warn")
 	fs.Parse(args)
+	applyLog()
 	dest := jobDest(fs, *dir, *out)
 	opts := job.RunOptions{Goroutines: *workers, BatchSize: *batch}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace(0)
+		// The active trace is what the storage layer's upload-part spans
+		// attach to; RunOptions.Trace is what the job layer threads through.
+		obs.SetActive(tr)
+		opts.Trace = tr
+	}
 	if *failAfter > 0 {
 		remaining := *failAfter
 		opts.OnCheckpoint = func(pe, chunks, edges uint64) error {
@@ -140,11 +170,41 @@ func jobRun(verb string, args []string) {
 			return nil
 		}
 	}
+	var cpuF *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuF = f
+	}
 	var err error
 	if verb == "resume" {
 		err = job.Resume(dest, *worker, opts)
 	} else {
 		err = job.Run(dest, *worker, opts)
+	}
+	// Profiles and the trace are diagnostic artifacts: write them even
+	// when the run failed, and only surface their errors when the run
+	// itself succeeded.
+	if cpuF != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuF.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if *memProfile != "" {
+		if perr := writeHeapProfile(*memProfile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if tr != nil {
+		if terr := writeTraceFile(*traceOut, tr); terr != nil && err == nil {
+			err = terr
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -152,12 +212,70 @@ func jobRun(verb string, args []string) {
 	fmt.Printf("worker %d done\n", *worker)
 }
 
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set before snapshotting
+	return pprof.WriteHeapProfile(f)
+}
+
+func writeTraceFile(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// jobTrace exports the per-worker trace files a traced run persisted
+// under <dir>/trace/ as one merged Chrome trace-event JSON document.
+func jobTrace(args []string) {
+	fs := flag.NewFlagSet("kagen job trace", flag.ExitOnError)
+	dir := fs.String("dir", "", "job destination: a directory or s3:// URI")
+	jout := fs.String("out", "", "alias of -dir")
+	out := fs.String("o", "", "output file (default: stdout)")
+	applyLog := logFlags(fs, "warn")
+	fs.Parse(args)
+	applyLog()
+	dest := jobDest(fs, *dir, *jout)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := job.WriteTraceJSON(dest, w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("trace written to %s\n", *out)
+	}
+}
+
 func jobStatus(args []string) {
 	fs := flag.NewFlagSet("kagen job status", flag.ExitOnError)
 	dir := fs.String("dir", "", "job destination: a directory or s3:// URI")
 	out := fs.String("out", "", "alias of -dir")
+	watch := fs.Bool("watch", false, "poll progress until the job completes, with per-PE throughput")
+	interval := fs.Duration("interval", time.Second, "poll interval for -watch")
+	applyLog := logFlags(fs, "warn")
 	fs.Parse(args)
+	applyLog()
 	dest := jobDest(fs, *dir, *out)
+	if *watch {
+		jobWatch(dest, *interval)
+		return
+	}
 	st, err := job.Inspect(dest)
 	if err != nil {
 		fatal(err)
@@ -192,6 +310,60 @@ func jobStatus(args []string) {
 	}
 }
 
+// jobWatch polls Inspect and prints one frame per interval: a job-wide
+// summary plus, for every in-progress PE, its chunk progress and edge
+// throughput since the previous frame. It exits when the job completes.
+func jobWatch(dest string, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	prevEdges := map[uint64]uint64{}
+	prevAt := time.Time{}
+	for {
+		st, err := job.Inspect(dest)
+		if err != nil {
+			fatal(err)
+		}
+		now := time.Now()
+		var chunks, chunksDone, edges uint64
+		var donePEs, totalPEs int
+		for _, w := range st.Workers {
+			for _, pe := range w.PEs {
+				totalPEs++
+				chunks += pe.Chunks
+				chunksDone += pe.ChunksDone
+				edges += pe.Edges
+				if pe.Done {
+					donePEs++
+				}
+			}
+		}
+		fmt.Printf("[%s] %s: %d/%d PEs, %d/%d chunks, %d edges\n",
+			now.Format("15:04:05"), st.Spec.Model, donePEs, totalPEs, chunksDone, chunks, edges)
+		dt := now.Sub(prevAt).Seconds()
+		for _, w := range st.Workers {
+			for _, pe := range w.PEs {
+				if pe.Done || pe.ChunksDone == 0 {
+					continue
+				}
+				rate := "-"
+				if prev, seen := prevEdges[pe.PE]; seen && !prevAt.IsZero() && dt > 0 {
+					rate = fmt.Sprintf("%.0f edges/s", float64(pe.Edges-prev)/dt)
+				}
+				fmt.Printf("  pe %d (worker %d): %d/%d chunks, %d edges, %s\n",
+					pe.PE, pe.Worker, pe.ChunksDone, pe.Chunks, pe.Edges, rate)
+				prevEdges[pe.PE] = pe.Edges
+			}
+		}
+		if st.Complete() {
+			fmt.Println("complete")
+			return
+		}
+		prevAt = now
+		time.Sleep(interval)
+	}
+}
+
 func jobVerify(args []string) {
 	fs := flag.NewFlagSet("kagen job verify", flag.ExitOnError)
 	var (
@@ -201,7 +373,9 @@ func jobVerify(args []string) {
 		sample = fs.Int("sample", 2, "chunks checked per PE when sampling")
 		seed   = fs.Int64("seed", 0, "sampling seed (same seed = same chunks)")
 	)
+	applyLog := logFlags(fs, "warn")
 	fs.Parse(args)
+	applyLog()
 	dest := jobDest(fs, *dir, *out)
 	res, err := job.Verify(dest, job.VerifyOptions{All: *all, Sample: *sample, Seed: *seed})
 	if err != nil {
@@ -229,7 +403,9 @@ func jobRepair(args []string) {
 	fs := flag.NewFlagSet("kagen job repair", flag.ExitOnError)
 	dir := fs.String("dir", "", "job destination: a directory or s3:// URI")
 	out := fs.String("out", "", "alias of -dir")
+	applyLog := logFlags(fs, "warn")
 	fs.Parse(args)
+	applyLog()
 	dest := jobDest(fs, *dir, *out)
 	// Repair is verify-driven: an exhaustive pass finds every fault, the
 	// repair regenerates exactly those, and a second pass proves the job
@@ -266,7 +442,9 @@ func jobMerge(args []string) {
 	dir := fs.String("dir", "", "job destination: a directory or s3:// URI")
 	jout := fs.String("out", "", "alias of -dir")
 	out := fs.String("o", "", "merged output: a file or s3:// URI (default: stdout)")
+	applyLog := logFlags(fs, "warn")
 	fs.Parse(args)
+	applyLog()
 	dest := jobDest(fs, *dir, *jout)
 	if *out == "" {
 		if err := job.Merge(dest, os.Stdout); err != nil {

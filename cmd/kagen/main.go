@@ -34,16 +34,39 @@ import (
 	"time"
 
 	kagen "repro"
+	"repro/internal/obs"
 )
 
-func main() {
-	if len(os.Args) > 1 && os.Args[1] == "job" {
-		jobMain(os.Args[2:])
-		return
+// logFlags registers the shared -log-level/-log-format flags on a
+// flagset and returns the function that applies them after parsing.
+func logFlags(fs *flag.FlagSet, defaultLevel string) func() {
+	level := fs.String("log-level", defaultLevel, "log level: debug, info, warn, error")
+	format := fs.String("log-format", "text", "log format: text or json (one line per event, to stderr)")
+	return func() {
+		if err := obs.Configure(*level, *format, nil); err != nil {
+			fatal(err)
+		}
 	}
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+}
+
+func printVersion() {
+	version, goVersion := obs.BuildInfo()
+	fmt.Printf("kagen %s (%s)\n", version, goVersion)
+}
+
+func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "job":
+			jobMain(os.Args[2:])
+			return
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "version", "-version", "--version":
+			printVersion()
+			return
+		}
 	}
 	var (
 		model   = flag.String("model", "gnm_undirected", "model: "+modelList())
@@ -66,7 +89,9 @@ func main() {
 		stats   = flag.Bool("stats", false, "print graph statistics to stderr")
 		stream  = flag.Bool("stream", false, "stream edges to the sink without materializing the graph")
 	)
+	applyLog := logFlags(flag.CommandLine, "warn")
 	flag.Parse()
+	applyLog()
 
 	gen, err := kagen.New(kagen.Model(*model), kagen.ModelParams{
 		N: *n, M: *m, P: *p, R: *r, AvgDeg: *deg, Gamma: *gamma, D: *d,

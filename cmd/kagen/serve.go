@@ -8,6 +8,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -27,11 +28,16 @@ endpoints:
   DELETE /jobs/{id}        cancel a queued/running job, evict a finished one
   GET    /jobs/{id}/result merged edge list in the job's format
   GET    /jobs/{id}/shards/{pe}  one PE's shard (supports Range)
+  GET    /jobs/{id}/trace  Chrome trace-event JSON of the job's execution
   GET    /metrics          Prometheus text exposition
   GET    /healthz          liveness
+  GET    /debug/pprof/*    CPU/heap/goroutine profiles (with -pprof)
+
+Requests and job lifecycle events are logged structurally to stderr
+(-log-level info is the default here; -log-format json for machines).
 
 example:
-  kagen serve -dir /var/lib/kagen -addr :8080 -executors 4 &
+  kagen serve -dir /var/lib/kagen -addr :8080 -executors 4 -pprof &
   curl -s -X POST localhost:8080/jobs -d \
     '{"model":"gnm_undirected","n":65536,"m":1048576,"seed":1,"pes":4,"chunks_per_pe":4}'
 `
@@ -48,8 +54,12 @@ func serveMain(args []string) {
 		executors = fs.Int("executors", 2, "jobs executing concurrently")
 		queue     = fs.Int("queue", 16, "submission queue bound (full queue returns 429)")
 		workers   = fs.Int("workers", 0, "chunk pipeline goroutines per job (0 = GOMAXPROCS)")
+		pprofOn   = fs.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
+		noTrace   = fs.Bool("no-trace", false, "disable span recording for executed jobs (/jobs/{id}/trace returns 404)")
 	)
+	applyLog := logFlags(fs, "info")
 	fs.Parse(args)
+	applyLog()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "kagen serve: -dir is required")
 		fs.Usage()
@@ -57,22 +67,24 @@ func serveMain(args []string) {
 	}
 	srv, err := serve.New(serve.Config{
 		Dir: *dir, Executors: *executors, QueueCap: *queue, Goroutines: *workers,
+		Pprof: *pprofOn, DisableTrace: *noTrace,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	log := obs.Logger("serve")
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(os.Stderr, "kagen serve: shutting down (incomplete jobs resume on restart)")
+		log.Info("shutting down (incomplete jobs resume on restart)")
 		// Stop executors first — running jobs park at their next durable
 		// checkpoint — then stop accepting connections.
 		srv.Close()
 		hs.Close()
 	}()
-	fmt.Fprintf(os.Stderr, "kagen serve: listening on %s, data in %s\n", *addr, *dir)
+	log.Info("listening", "addr", *addr, "dir", *dir, "pprof", *pprofOn)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}

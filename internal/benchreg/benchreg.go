@@ -8,7 +8,9 @@
 package benchreg
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"repro/internal/gnp"
 	"repro/internal/graph"
 	"repro/internal/hyperbolic"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/rdg"
 	"repro/internal/rgg"
@@ -647,6 +650,43 @@ func All() []Case {
 			}
 			if tot := stats.Orient3DFast + stats.Orient3DExact; tot > 0 {
 				b.ReportMetric(float64(stats.Orient3DExact)/float64(tot), "orient3d-exact-frac")
+			}
+		})
+	}
+
+	// --- Observability hot-path cost (DESIGN.md "Observability") ---
+	// The disabled paths are what every generation hot loop pays when
+	// nothing is tracing or logging; the allocation gate pins them at
+	// zero allocs/op so instrumentation can never tax an untraced run.
+	{
+		add("Obs/span-disabled", func(b *testing.B) {
+			var tr *obs.Trace // nil = tracing off, the production default
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Start("job", "chunk-generate", obs.GenLane(uint64(i)), obs.Span{})
+				sp.End()
+			}
+		})
+		add("Obs/span-enabled", func(b *testing.B) {
+			tr := obs.NewTrace(b.N + 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Start("job", "chunk-generate", obs.GenLane(uint64(i)), obs.Span{})
+				sp.End()
+			}
+		})
+		add("Obs/log-disabled", func(b *testing.B) {
+			log := obs.Logger("bench")
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer() // the child-logger setup above is one-time cost
+			for i := 0; i < b.N; i++ {
+				// The guarded pattern the hot paths use: one leveled Enabled
+				// probe, no argument boxing when the level is off.
+				if log.Enabled(ctx, slog.LevelDebug) {
+					log.Debug("checkpoint", "chunk", i)
+				}
 			}
 		})
 	}

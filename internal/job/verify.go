@@ -15,6 +15,7 @@ import (
 
 	kagen "repro"
 	"repro/internal/merkle"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -98,6 +99,8 @@ func Verify(dir string, opts VerifyOptions) (*VerifyResult, error) {
 		return nil, err
 	}
 	format := spec.ShardFormat()
+	log := obs.Logger("job")
+	log.Info("verify starting", "dir", dir, "spec", spec.Hash(), "all", opts.All)
 	res := &VerifyResult{}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for w := uint64(0); w < spec.Workers; w++ {
@@ -118,6 +121,12 @@ func Verify(dir string, opts VerifyOptions) (*VerifyResult, error) {
 			res.PEsChecked++
 			res.Faults = append(res.Faults, verifyPE(store, dir, spec, streamer, format, w, prog, opts, rng, &res.ChunksChecked)...)
 		}
+	}
+	if res.OK() {
+		log.Info("verify clean", "dir", dir, "pes_checked", res.PEsChecked, "chunks_checked", res.ChunksChecked)
+	} else {
+		log.Warn("verify found faults", "dir", dir, "faults", len(res.Faults),
+			"pes_checked", res.PEsChecked, "chunks_checked", res.ChunksChecked)
 	}
 	return res, nil
 }
@@ -318,6 +327,8 @@ func Repair(dir string, faults []Fault) (*RepairResult, error) {
 		return nil, err
 	}
 	format := spec.ShardFormat()
+	log := obs.Logger("job")
+	log.Info("repair starting", "dir", dir, "faults", len(faults))
 	res := &RepairResult{}
 
 	byWorker := map[uint64][]Fault{}
@@ -637,6 +648,9 @@ func auditCommitted(store storage.Backend, path string, format kagen.Format, n u
 	}
 	// Quarantine before rollback: keep the corrupt evidence, then shrink
 	// the manifest so resume regenerates from the last intact chunk.
+	obs.Logger("job").Warn("resume audit found corruption; quarantining",
+		"shard", path, "pe", prog.PE, "header_ok", headerOK,
+		"chunks_intact", good, "chunks_committed", len(prog.Chunks))
 	if err := quarantine(store, path, prog, headerOK, good); err != nil {
 		return err
 	}

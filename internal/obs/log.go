@@ -1,0 +1,97 @@
+// Package obs is the repo's zero-dependency observability layer:
+// structured logging on log/slog, lightweight span tracing exported as
+// Chrome trace-event JSON, and build metadata. Everything is stdlib
+// only, and every hook is designed so the disabled path costs a nil
+// check or a single atomic load — the generation hot path (see
+// BENCH_kagen.json) must not notice the instrumentation exists.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+)
+
+// level is the process-wide log level, shared by every handler ever
+// configured so Enabled checks stay a single atomic load.
+var level slog.LevelVar
+
+// logger is the process logger. Replaced wholesale by Configure;
+// loaded on every Logger call so components configured before
+// Configure still pick up the final destination.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	level.Set(slog.LevelWarn) // quiet by default: CLI runs log only trouble
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &level})
+	logger.Store(slog.New(h))
+}
+
+// Configure sets the process log level ("debug", "info", "warn",
+// "error") and format ("text" or "json"), writing to w (os.Stderr when
+// nil). It is meant to be called once from main before serving
+// traffic; later Logger calls observe the new configuration.
+func Configure(levelName, format string, w io.Writer) error {
+	var l slog.Level
+	switch strings.ToLower(levelName) {
+	case "debug":
+		l = slog.LevelDebug
+	case "info":
+		l = slog.LevelInfo
+	case "warn", "warning":
+		l = slog.LevelWarn
+	case "error":
+		l = slog.LevelError
+	default:
+		return fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", levelName)
+	}
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, &slog.HandlerOptions{Level: &level})
+	case "json":
+		h = slog.NewJSONHandler(w, &slog.HandlerOptions{Level: &level})
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	level.Set(l)
+	logger.Store(slog.New(h))
+	return nil
+}
+
+// SetLevel adjusts the process log level without replacing the handler.
+func SetLevel(l slog.Level) { level.Set(l) }
+
+// Logger returns the process logger scoped to a component ("job",
+// "serve", "storage", ...). Callers should fetch one per operation
+// (request, job run), not per event: the child derivation allocates,
+// the subsequent Enabled checks do not.
+func Logger(component string) *slog.Logger {
+	return logger.Load().With("component", component)
+}
+
+// BuildInfo reports the module version and Go toolchain of the running
+// binary, via debug.ReadBuildInfo. Version is "devel" for non-module
+// builds (go test, go run).
+func BuildInfo() (version, goVersion string) {
+	version, goVersion = "devel", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version = s.Value[:12]
+			}
+		}
+	}
+	return version, goVersion
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestConfigureJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Configure("info", "json", &buf); err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	defer func() {
+		if err := Configure("warn", "text", nil); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}()
+
+	log := Logger("job")
+	log.Info("worker starting", "worker", uint64(3), "dir", "/tmp/j")
+	log.Debug("suppressed") // below level
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1 (debug suppressed): %s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, lines[0])
+	}
+	for _, k := range []string{"time", "level", "msg", "component", "worker", "dir"} {
+		if _, ok := rec[k]; !ok {
+			t.Fatalf("JSON log line missing key %q: %s", k, lines[0])
+		}
+	}
+	if rec["component"] != "job" {
+		t.Fatalf("component = %v, want job", rec["component"])
+	}
+	if rec["msg"] != "worker starting" {
+		t.Fatalf("msg = %v", rec["msg"])
+	}
+}
+
+func TestConfigureRejectsUnknown(t *testing.T) {
+	if err := Configure("loud", "text", nil); err == nil {
+		t.Fatal("Configure accepted unknown level")
+	}
+	if err := Configure("info", "xml", nil); err == nil {
+		t.Fatal("Configure accepted unknown format")
+	}
+}
+
+// TestDisabledLogCheap pins the guarded hot-path pattern: when the
+// level is above Debug, the Enabled probe must not allocate.
+func TestDisabledLogCheap(t *testing.T) {
+	if err := Configure("warn", "text", nil); err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	log := Logger("bench")
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		if log.Enabled(ctx, slog.LevelDebug) {
+			log.Debug("never")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled log probe allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	version, goVersion := BuildInfo()
+	if version == "" || goVersion == "" {
+		t.Fatalf("BuildInfo returned empty fields: %q %q", version, goVersion)
+	}
+}

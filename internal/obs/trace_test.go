@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// decodeTrace parses exported Chrome trace JSON back into a usable
+// shape for assertions.
+type decodedEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  uint64         `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func decodeTrace(t *testing.T, b []byte) []decodedEvent {
+	t.Helper()
+	var out struct {
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		TraceEvents     []decodedEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", out.DisplayTimeUnit)
+	}
+	return out.TraceEvents
+}
+
+// TestTraceRoundTrip emits a nested span tree, exports it, parses the
+// JSON back, and checks parent/child nesting and timestamp sanity.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace(64)
+	worker := tr.Start("job", "worker", LaneWorker, Span{})
+	pe := tr.Start("job", "pe", PELane(3), worker)
+	gen := tr.Start("job", "chunk-generate", GenLane(3), pe)
+	gen.End(U64("chunk", 3))
+	commit := tr.Start("job", "chunk-commit", PELane(3), pe)
+	commit.End(U64("chunk", 3), U64("edges", 17))
+	pe.End(U64("pe", 3))
+	worker.End(Str("dir", "/tmp/j"), U64("worker", 0))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	byName := map[string]decodedEvent{}
+	for _, e := range events {
+		if e.Ph == "X" {
+			byName[e.Name] = e
+		}
+	}
+	for _, want := range []string{"worker", "pe", "chunk-generate", "chunk-commit"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("exported trace missing span %q", want)
+		}
+	}
+
+	id := func(e decodedEvent, k string) uint64 {
+		v, ok := e.Args[k].(float64)
+		if !ok {
+			return 0
+		}
+		return uint64(v)
+	}
+	// Parent/child identity: pe under worker, generate and commit under pe.
+	if got, want := id(byName["pe"], "parent"), id(byName["worker"], "id"); got != want {
+		t.Fatalf("pe parent = %d, want worker id %d", got, want)
+	}
+	for _, child := range []string{"chunk-generate", "chunk-commit"} {
+		if got, want := id(byName[child], "parent"), id(byName["pe"], "id"); got != want {
+			t.Fatalf("%s parent = %d, want pe id %d", child, got, want)
+		}
+	}
+	// Time containment: each child's [ts, ts+dur] inside its parent's.
+	contains := func(outer, inner decodedEvent) bool {
+		return inner.TS >= outer.TS && inner.TS+inner.Dur <= outer.TS+outer.Dur
+	}
+	if !contains(byName["worker"], byName["pe"]) {
+		t.Fatalf("pe span not contained in worker span")
+	}
+	if !contains(byName["pe"], byName["chunk-commit"]) {
+		t.Fatalf("chunk-commit span not contained in pe span")
+	}
+	// Attributes survive the round trip.
+	if got := id(byName["chunk-commit"], "edges"); got != 17 {
+		t.Fatalf("chunk-commit edges attr = %d, want 17", got)
+	}
+	if got, _ := byName["worker"].Args["dir"].(string); got != "/tmp/j" {
+		t.Fatalf("worker dir attr = %q, want /tmp/j", got)
+	}
+	// Spans are recorded in End order, so exported start timestamps need
+	// not ascend globally — but within a lane, and for the completion
+	// order itself, time must be monotone and non-negative.
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Dur < 0 {
+			t.Fatalf("span %q has negative duration %g", e.Name, e.Dur)
+		}
+		if e.TS <= 0 {
+			t.Fatalf("span %q has non-positive timestamp %g", e.Name, e.TS)
+		}
+	}
+	// Every lane used got a thread_name metadata record.
+	named := map[uint64]bool{}
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			named[e.TID] = true
+		}
+	}
+	for _, e := range events {
+		if e.Ph == "X" && !named[e.TID] {
+			t.Fatalf("lane %d has spans but no thread_name metadata", e.TID)
+		}
+	}
+}
+
+// TestTraceMonotonicEndOrder checks that the recorded events' end
+// times (start+dur) are non-decreasing in arena order: End commits the
+// slot, so arena order is completion order.
+func TestTraceMonotonicEndOrder(t *testing.T) {
+	tr := NewTrace(16)
+	for i := 0; i < 8; i++ {
+		tr.Start("t", "s", LaneWorker, Span{}).End()
+	}
+	events := tr.Events()
+	if len(events) != 8 {
+		t.Fatalf("Len = %d, want 8", len(events))
+	}
+	prev := int64(-1)
+	for i, e := range events {
+		end := e.Start + e.Dur
+		if end < prev {
+			t.Fatalf("event %d ends at %d ns, before previous end %d", i, end, prev)
+		}
+		prev = end
+	}
+}
+
+func TestTraceDefaultParent(t *testing.T) {
+	tr := NewTrace(8)
+	worker := tr.Start("job", "worker", LaneWorker, Span{})
+	tr.SetDefaultParent(worker)
+	up := tr.Start("storage", "upload-part", UploadLane(2), Span{})
+	up.End()
+	worker.End()
+	events := tr.Events()
+	if events[0].Name != "upload-part" || events[0].Parent != worker.ID() {
+		t.Fatalf("upload-part parent = %d, want default parent %d", events[0].Parent, worker.ID())
+	}
+}
+
+func TestTraceDropsWhenFull(t *testing.T) {
+	tr := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		tr.Start("t", "s", LaneWorker, Span{}).End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want cap 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on full trace: %v", err)
+	}
+}
+
+// TestTraceConcurrent hammers span emission from many goroutines under
+// the race detector: reservation is atomic, slots are disjoint.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				s := tr.Start("t", "s", GenLane(uint64(i)), Span{})
+				s.End(U64("g", uint64(g)), U64("i", uint64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 2048 {
+		t.Fatalf("Len = %d, want 2048", tr.Len())
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+// TestDisabledTraceNoAllocs pins the disabled path: a nil *Trace and
+// the zero Span must cost no allocations at all.
+func TestDisabledTraceNoAllocs(t *testing.T) {
+	var tr *Trace
+	if n := testing.AllocsPerRun(1000, func() {
+		s := tr.Start("job", "pe", PELane(1), Span{})
+		s.End()
+	}); n != 0 {
+		t.Fatalf("disabled span path allocates %v allocs/op, want 0", n)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatalf("nil trace accessors not inert")
+	}
+}
+
+func TestNilTraceWriteJSON(t *testing.T) {
+	var tr *Trace
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on nil trace: %v", err)
+	}
+	if events := decodeTrace(t, buf.Bytes()); len(events) != 0 {
+		t.Fatalf("nil trace exported %d events, want 0", len(events))
+	}
+}

@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
 // The metrics layer is deliberately flat: a fixed set of typed fields on
 // one struct, each a few atomic words, exposed in Prometheus text
-// exposition format (0.0.4) on GET /metrics. No registry, no labels, no
-// dependency — the serving hot path (a checkpoint hook firing after
-// every chunk) touches only atomics.
+// exposition format (0.0.4) on GET /metrics. No registry, no dependency
+// — the serving hot path (a checkpoint hook firing after every chunk)
+// touches only atomics. The one concession to dimensionality is
+// LabeledCounter: a single label whose values are discovered at runtime
+// (job models), still just an atomic per value after first touch.
 
 // Counter is a monotonically increasing uint64.
 type Counter struct{ v atomic.Uint64 }
@@ -63,6 +69,58 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// LabeledCounter is a counter family over one label dimension whose
+// values appear at runtime. Incrementing an existing label value is a
+// map load plus an atomic add; creating a value is a one-time
+// LoadOrStore. This is deliberately as far from a registry as label
+// support can get: one dimension, counters only.
+type LabeledCounter struct{ m sync.Map }
+
+// Inc increments the counter for one label value.
+func (c *LabeledCounter) Inc(value string) {
+	if v, ok := c.m.Load(value); ok {
+		v.(*Counter).Inc()
+		return
+	}
+	v, _ := c.m.LoadOrStore(value, &Counter{})
+	v.(*Counter).Inc()
+}
+
+// Value returns the count for one label value (0 if never incremented).
+func (c *LabeledCounter) Value(value string) uint64 {
+	if v, ok := c.m.Load(value); ok {
+		return v.(*Counter).Value()
+	}
+	return 0
+}
+
+// escapeLabel escapes a label value per the exposition format.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// writeText emits the family sorted by label value, so scrapes are
+// deterministic.
+func (c *LabeledCounter) writeText(w io.Writer, name, label, help string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name); err != nil {
+		return err
+	}
+	type kv struct {
+		k string
+		v uint64
+	}
+	var vals []kv
+	c.m.Range(func(k, v any) bool {
+		vals = append(vals, kv{k.(string), v.(*Counter).Value()})
+		return true
+	})
+	sort.Slice(vals, func(i, j int) bool { return vals[i].k < vals[j].k })
+	for _, e := range vals {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", name, label, escapeLabel.Replace(e.k), e.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Metrics is the server's flat metric set.
 type Metrics struct {
 	JobsSubmitted   Counter // new specs accepted into the queue
@@ -76,19 +134,28 @@ type Metrics struct {
 	EdgesGenerated  Counter // edges durably committed (rate = edges/sec)
 	ChunksCommitted Counter // durable checkpoints
 	// Verify/repair counters, fed by POST /jobs/{id}/verify.
-	VerifyChunksChecked Counter    // chunks re-derived and checked
-	VerifyFailures      Counter    // integrity faults found
-	VerifyRepaired      Counter    // chunks spliced + PEs reset + manifests rebuilt
-	QueueDepth          Gauge      // jobs waiting in the submission queue
-	JobsInflight        Gauge      // jobs currently executing
-	Checkpoint          *Histogram // seconds between durable checkpoints
+	VerifyChunksChecked Counter        // chunks re-derived and checked
+	VerifyFailures      Counter        // integrity faults found
+	VerifyRepaired      Counter        // chunks spliced + PEs reset + manifests rebuilt
+	JobsByModel         LabeledCounter // jobs accepted, by spec model
+	QueueDepth          Gauge          // jobs waiting in the submission queue
+	JobsInflight        Gauge          // jobs currently executing
+	Checkpoint          *Histogram     // seconds between durable checkpoints, per PE
+	QueueWait           *Histogram     // seconds from accepted submission to execution start
+	Commit              *Histogram     // seconds one chunk's shard commit (fsync / part seal) took
+	PartUpload          *Histogram     // seconds one S3 part upload took (storage observer)
 }
 
-// NewMetrics returns a zeroed metric set with checkpoint-latency buckets
-// spanning sub-millisecond chunk commits to multi-second stalls.
+// NewMetrics returns a zeroed metric set. Checkpoint/commit buckets span
+// sub-millisecond chunk commits to multi-second stalls; queue-wait
+// buckets span instant dispatch to a minutes-deep backlog; part-upload
+// buckets span LAN object stores to cross-region puts.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		Checkpoint: NewHistogram(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5),
+		Commit:     NewHistogram(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5),
+		QueueWait:  NewHistogram(0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300),
+		PartUpload: NewHistogram(0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60),
 	}
 }
 
@@ -118,6 +185,10 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			c.name, c.help, c.name, c.name, c.c.Value()); err != nil {
 			return err
 		}
+	}
+	if err := m.JobsByModel.writeText(w, "kagen_jobs_by_model_total", "model",
+		"Jobs accepted into the queue, by spec model."); err != nil {
+		return err
 	}
 	// Striped-upload counters from the storage layer, process-global:
 	// they cover every S3 destination the process writes (jobs, merges),
@@ -158,8 +229,29 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	return m.Checkpoint.writeText(w, "kagen_checkpoint_seconds",
-		"Seconds between successive durable chunk checkpoints.")
+	version, goVersion := obs.BuildInfo()
+	if _, err := fmt.Fprintf(w,
+		"# HELP kagen_build_info Build metadata of the running binary; value is always 1.\n"+
+			"# TYPE kagen_build_info gauge\n"+
+			"kagen_build_info{version=\"%s\",go=\"%s\"} 1\n",
+		escapeLabel.Replace(version), escapeLabel.Replace(goVersion)); err != nil {
+		return err
+	}
+	hists := []struct {
+		name, help string
+		h          *Histogram
+	}{
+		{"kagen_checkpoint_seconds", "Seconds between successive durable chunk checkpoints of one PE.", m.Checkpoint},
+		{"kagen_queue_wait_seconds", "Seconds an accepted job waited in the queue before executing.", m.QueueWait},
+		{"kagen_commit_seconds", "Seconds one chunk's shard commit (fsync / gzip flush / part seal) took.", m.Commit},
+		{"kagen_storage_part_upload_seconds", "Seconds one multipart part upload took.", m.PartUpload},
+	}
+	for _, h := range hists {
+		if err := h.h.writeText(w, h.name, h.help); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (h *Histogram) writeText(w io.Writer, name, help string) error {

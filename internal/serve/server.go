@@ -17,11 +17,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,6 +34,7 @@ import (
 
 	kagen "repro"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -67,7 +71,18 @@ type Config struct {
 	// job; returning an error aborts that job's run exactly as a crash at
 	// that checkpoint would. Test hook.
 	OnCheckpoint func(jobID string, pe, chunks uint64) error
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler.
+	// Off by default: profiling endpoints on a public listener are a
+	// conscious choice, not a side effect.
+	Pprof bool
+	// DisableTrace turns off per-job span collection. Traces are on by
+	// default (bounded per worker, a few MB at worst) because a stall
+	// report without a trace is just a wall clock.
+	DisableTrace bool
 }
+
+// traceCapPerWorker bounds one worker run's span arena (~96 B/slot).
+const traceCapPerWorker = 1 << 14
 
 // jobState is the in-memory view of one job; all fields are guarded by
 // Server.mu.
@@ -81,6 +96,7 @@ type jobState struct {
 	chunksDone  uint64
 	chunksTotal uint64
 	edges       uint64
+	queuedAt    time.Time // when the job entered the queue (zero = resumed/unknown)
 	// integrity is the last verify pass's outcome (nil = never verified).
 	// Snapshots are immutable: handlers replace the pointer, never mutate
 	// through it.
@@ -103,6 +119,7 @@ type IntegrityStatus struct {
 type Server struct {
 	cfg     Config
 	metrics *Metrics
+	log     *slog.Logger
 	mux     *http.ServeMux
 	pool    *pool
 	cancel  context.CancelFunc
@@ -132,10 +149,14 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		metrics: NewMetrics(),
+		log:     obs.Logger("serve"),
 		cancel:  cancel,
 		ctx:     ctx,
 		jobs:    make(map[string]*jobState),
 	}
+	// Feed S3 part-upload latencies into the histogram. Process-global
+	// like the upload counters themselves; Close uninstalls it.
+	storage.SetPartUploadObserver(func(seconds float64) { s.metrics.PartUpload.Observe(seconds) })
 
 	// Terminally failed jobs live under failed/ so the startup scan never
 	// re-enqueues them: without the compaction, a job that fails its
@@ -199,8 +220,13 @@ func New(cfg Config) (*Server, error) {
 	for _, js := range resume {
 		s.metrics.JobsResumed.Inc()
 		js := js
+		js.queuedAt = time.Now()
+		s.log.Info("resuming incomplete job", "job", js.id, "model", js.spec.Model,
+			"chunks_done", js.chunksDone, "chunks_total", js.chunksTotal)
 		s.pool.trySubmit(func(ctx context.Context) { s.execute(ctx, js) })
 	}
+	s.log.Info("startup scan done", "dir", cfg.Dir,
+		"jobs", len(s.jobs), "resumed", len(resume), "executors", cfg.Executors)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -210,10 +236,18 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /jobs/{id}/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/shards/{pe}", s.handleShard)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -246,8 +280,40 @@ func (s *Server) moveToFailed(js *jobState) {
 	os.WriteFile(filepath.Join(dest, "error.txt"), []byte(js.errMsg), 0o644)
 }
 
-// Handler returns the HTTP handler to mount.
-func (s *Server) Handler() http.Handler { return s.mux }
+// statusWriter records the response code for the request log. Unwrap
+// keeps http.ResponseController (and everything built on it) working
+// through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Handler returns the HTTP handler to mount: the API mux wrapped in
+// request-lifecycle logging (one line per request at info level — the
+// deferred log also fires when a handler panics to abort a stream).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.log.Enabled(r.Context(), slog.LevelInfo) {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			s.log.Info("request", "method", r.Method, "path", r.URL.Path,
+				"status", sw.code, "remote", r.RemoteAddr,
+				"elapsed", time.Since(start).Seconds())
+		}()
+		s.mux.ServeHTTP(sw, r)
+	})
+}
 
 // Metrics returns the server's metric set (shared, live).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -257,8 +323,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // queued jobs stay queued on disk. Close returns once every executor has
 // exited; it does not touch job directories.
 func (s *Server) Close() {
+	s.log.Info("shutting down", "dir", s.cfg.Dir)
 	s.cancel()
 	s.pool.wait()
+	storage.SetPartUploadObserver(nil)
 }
 
 // JobStatus is the JSON shape of one job in API responses.
@@ -349,6 +417,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	js := &jobState{
 		id: id, dir: filepath.Join(s.cfg.Dir, id), spec: spec,
 		state: StateQueued, chunksTotal: spec.TotalChunks(),
+		queuedAt: time.Now(),
 	}
 	s.jobs[id] = js
 	s.mu.Unlock()
@@ -370,10 +439,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.metrics.QueueRejected.Inc()
 		s.dropJob(js)
 		os.RemoveAll(js.dir)
+		s.log.Warn("submission rejected: queue full", "job", id, "model", spec.Model, "queue_cap", s.cfg.QueueCap)
 		writeError(w, http.StatusTooManyRequests, "submission queue full (%d queued)", s.cfg.QueueCap)
 		return
 	}
 	s.metrics.JobsSubmitted.Inc()
+	s.metrics.JobsByModel.Inc(spec.Model)
+	s.log.Info("job accepted", "job", id, "model", spec.Model,
+		"pes", spec.PEs, "workers", spec.Workers, "chunks", js.chunksTotal)
 
 	s.mu.Lock()
 	st := js.statusLocked()
@@ -657,6 +730,33 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	http.ServeContent(w, r, storage.Base(path), time.Time{}, f)
 }
 
+// handleTrace serves the merged Chrome trace-event JSON of a job's
+// recorded worker runs — loadable directly in Perfetto or
+// chrome://tracing. 404 when the job ran with tracing disabled (or
+// predates it).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	dir := js.dir
+	s.mu.Unlock()
+	// Buffer before writing: a merge error after the header is sent
+	// could not change the status code anymore.
+	var buf bytes.Buffer
+	if err := job.WriteTraceJSON(dir, &buf); err != nil {
+		if errors.Is(err, job.ErrNoTrace) {
+			writeError(w, http.StatusNotFound, "job %s has no recorded trace", js.id)
+		} else {
+			writeError(w, http.StatusInternalServerError, "trace: %v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w)
@@ -673,9 +773,14 @@ func (s *Server) execute(srvCtx context.Context, js *jobState) {
 	ctx, cancel := context.WithCancel(srvCtx)
 	js.state = StateRunning
 	js.cancel = cancel
+	queuedAt := js.queuedAt
 	s.mu.Unlock()
 	defer cancel()
 
+	if !queuedAt.IsZero() {
+		s.metrics.QueueWait.Observe(time.Since(queuedAt).Seconds())
+	}
+	started := time.Now()
 	s.metrics.JobsInflight.Add(1)
 	err := s.runJob(ctx, js)
 	s.metrics.JobsInflight.Add(-1)
@@ -706,6 +811,13 @@ func (s *Server) execute(srvCtx context.Context, js *jobState) {
 		// a job that just failed for a non-transient reason.
 		s.moveToFailed(js)
 	}
+	if js.state == StateFailed {
+		s.log.Error("job failed", "job", js.id, "err", js.errMsg,
+			"elapsed", time.Since(started).Seconds())
+	} else {
+		s.log.Info("job finished", "job", js.id, "state", js.state,
+			"edges", js.edges, "elapsed", time.Since(started).Seconds())
+	}
 }
 
 // runJob drives every worker of the job through job.Run with a
@@ -717,6 +829,12 @@ func (s *Server) runJob(ctx context.Context, js *jobState) error {
 	// The hook reports cumulative per-PE edges; seed the delta tracker
 	// from the manifests so a resumed PE's pre-crash edges are neither
 	// re-counted in the metric nor double-added to the snapshot.
+	//
+	// hmu guards everything the hook mutates: job.Run promotes
+	// checkpoints from whichever pipeline goroutine owns the delivery
+	// head, so consecutive hook calls can come from different goroutines
+	// (and, on striped backends, back to back for different PEs).
+	var hmu sync.Mutex
 	peEdges := make(map[uint64]uint64)
 	if st, err := job.Inspect(js.dir); err == nil {
 		for _, w := range st.Workers {
@@ -725,14 +843,22 @@ func (s *Server) runJob(ctx context.Context, js *jobState) error {
 			}
 		}
 	}
-	last := time.Now()
+	// Checkpoint latency is tracked per PE: chunks of different PEs
+	// commit interleaved, and measuring across the interleave would
+	// report intervals far shorter than any PE's real checkpoint cadence.
+	// A PE's first checkpoint has no predecessor and records nothing.
+	lastByPE := make(map[uint64]time.Time)
 	hook := func(pe, chunks, edges uint64) error {
 		now := time.Now()
-		s.metrics.Checkpoint.Observe(now.Sub(last).Seconds())
-		last = now
-		s.metrics.ChunksCommitted.Inc()
+		hmu.Lock()
+		if last, ok := lastByPE[pe]; ok {
+			s.metrics.Checkpoint.Observe(now.Sub(last).Seconds())
+		}
+		lastByPE[pe] = now
 		d := edges - peEdges[pe]
 		peEdges[pe] = edges
+		hmu.Unlock()
+		s.metrics.ChunksCommitted.Inc()
 		s.metrics.EdgesGenerated.Add(d)
 		s.mu.Lock()
 		js.chunksDone++
@@ -752,8 +878,17 @@ func (s *Server) runJob(ctx context.Context, js *jobState) error {
 		return nil
 	}
 	for w := uint64(0); w < spec.Workers; w++ {
+		var tr *obs.Trace
+		if !s.cfg.DisableTrace {
+			// One trace per worker run: the runner persists it to
+			// <dir>/trace/workerNNNNN.json, and GET /jobs/{id}/trace merges
+			// the per-worker files.
+			tr = obs.NewTrace(traceCapPerWorker)
+		}
 		if err := job.Run(js.dir, w, job.RunOptions{
 			Goroutines: s.cfg.Goroutines, OnCheckpoint: hook,
+			Trace:           tr,
+			OnCommitLatency: func(pe uint64, seconds float64) { s.metrics.Commit.Observe(seconds) },
 		}); err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/obs"
 )
 
 // s3Config is the endpoint/credential configuration of the S3 backend,
@@ -585,6 +586,10 @@ func (b *s3Backend) uploadPart(ctx context.Context, bucket, key, uploadID string
 	}
 	resp, retries, err := b.doTransient(attempt)
 	stats.partRetries.Add(int64(retries))
+	if retries > 0 {
+		obs.Logger("storage").Warn("part upload retried",
+			"key", key, "part", num, "retries", retries, "bytes", len(data), "err", err)
+	}
 	if err != nil {
 		return "", err
 	}

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/obs"
 )
 
 // s3Shard is the striped multipart shard writer: committed chunks
@@ -230,7 +232,14 @@ func (w *s3Shard) launch(ps *s3PartState) {
 			<-w.sem
 			w.wg.Done()
 		}()
+		// Observability: a span on the process-global trace (nil check when
+		// tracing is off) and a latency observation for the part-upload
+		// histogram (one atomic load when no observer is installed).
+		sp := obs.Active().Start("storage", "upload-part", obs.UploadLane(uint64(ps.part.Num)), obs.Span{})
+		start := time.Now()
 		etag, err := w.b.uploadPart(w.ctx, w.bucket, w.key, w.upload, ps.part.Num, ps.data, ps.part.Checksum)
+		observePartUpload(time.Since(start).Seconds())
+		sp.End(obs.U64("part", uint64(ps.part.Num)), obs.U64("bytes", uint64(ps.part.Size)), obs.Str("key", w.key))
 		w.mu.Lock()
 		if err != nil {
 			if w.uploadErr == nil {
@@ -326,6 +335,7 @@ func (w *s3Shard) Close() error {
 // Abort cancels in-flight part uploads and aborts the multipart upload,
 // discarding every part.
 func (w *s3Shard) Abort() error {
+	obs.Logger("storage").Info("aborting multipart upload", "key", w.key, "upload", w.upload)
 	w.cancel()
 	w.wg.Wait()
 	if failpoint.Armed() && failpoint.Eval("storage/s3-abort-crash") {

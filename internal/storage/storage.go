@@ -259,6 +259,28 @@ func ResetUploadStats() {
 	stats.bytesUploaded.Store(0)
 }
 
+// partUploadObserver, when installed, receives the wall seconds of
+// every completed part upload attempt — serve feeds it into the
+// kagen_storage_part_upload_seconds histogram. Process-global like the
+// upload counters; nil (one atomic load) when nothing is scraping.
+var partUploadObserver atomic.Pointer[func(seconds float64)]
+
+// SetPartUploadObserver installs (or, with nil, removes) the process
+// part-upload latency observer.
+func SetPartUploadObserver(fn func(seconds float64)) {
+	if fn == nil {
+		partUploadObserver.Store(nil)
+		return
+	}
+	partUploadObserver.Store(&fn)
+}
+
+func observePartUpload(seconds float64) {
+	if fn := partUploadObserver.Load(); fn != nil {
+		(*fn)(seconds)
+	}
+}
+
 func trackInFlight(delta int64) {
 	n := stats.partsInFlight.Add(delta)
 	if delta > 0 {
